@@ -1,0 +1,106 @@
+// Exactness vs approximation (§3's related-work context): what the
+// pre-KnightKing approximation schemes give up, and that KnightKing gets
+// the speed without the accuracy loss.
+//
+// Setup: node2vec (p=0.5, q=2 — strongly second-order) on twitter-sim.
+// Ground truth = per-vertex visit frequencies from exact KnightKing walks
+// with one seed; each contender is compared by total-variation distance to
+// ground truth computed with a *different* seed, so the "exact" row shows
+// the pure sampling-noise floor.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baseline/approximations.h"
+
+using namespace knightking;
+using namespace knightking::bench;
+
+namespace {
+
+std::vector<double> VisitFrequencies(const std::vector<std::vector<vertex_id_t>>& paths,
+                                     vertex_id_t num_vertices) {
+  std::vector<double> freq(num_vertices, 0.0);
+  double total = 0.0;
+  for (const auto& path : paths) {
+    for (vertex_id_t v : path) {
+      freq[v] += 1.0;
+      total += 1.0;
+    }
+  }
+  for (double& f : freq) {
+    f /= total;
+  }
+  return freq;
+}
+
+double TotalVariation(const std::vector<double>& a, const std::vector<double>& b) {
+  double l1 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    l1 += std::abs(a[i] - b[i]);
+  }
+  return l1 / 2.0;
+}
+
+}  // namespace
+
+int main() {
+  auto list = BuildSimDataset(SimDataset::kTwitterSim, kGraphSeed);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 80};
+  const walker_id_t kWalkers = list.num_vertices;
+
+  auto run_exact = [&](const EdgeList<EmptyEdgeData>& graph, uint64_t seed,
+                       std::optional<vertex_id_t> hybrid_threshold, double* seconds) {
+    WalkEngineOptions opts;
+    opts.seed = seed;
+    opts.collect_paths = true;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    auto spec = Node2VecTransition(engine.graph(), params);
+    if (hybrid_threshold.has_value()) {
+      spec = HybridStaticSwitch(std::move(spec), engine.graph(), *hybrid_threshold);
+    }
+    Timer timer;
+    engine.Run(spec, Node2VecWalkers(kWalkers, params));
+    *seconds = timer.Seconds();
+    return VisitFrequencies(engine.TakePaths(), list.num_vertices);
+  };
+
+  std::printf("Exact vs approximate node2vec (p=0.5 q=2) on twitter-sim\n");
+  PrintRule(78);
+
+  double t_truth = 0.0;
+  auto truth = run_exact(list, 1001, std::nullopt, &t_truth);
+
+  std::printf("%-34s %10s %20s\n", "variant", "time(s)", "TV dist. to exact");
+  PrintRule(78);
+
+  double t = 0.0;
+  auto exact2 = run_exact(list, 2002, std::nullopt, &t);
+  std::printf("%-34s %10.2f %20.4f   (sampling-noise floor)\n", "KnightKing exact", t,
+              TotalVariation(truth, exact2));
+
+  for (vertex_id_t threshold : {1000u, 100u}) {
+    auto hybrid = run_exact(list, 2002, threshold, &t);
+    char label[64];
+    std::snprintf(label, sizeof(label), "hybrid static switch (deg>%u)", threshold);
+    std::printf("%-34s %10.2f %20.4f\n", label, t, TotalVariation(truth, hybrid));
+  }
+
+  {
+    auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+    for (vertex_id_t cap : {300u, 30u}) {
+      auto trimmed = TrimHighDegreeVertices(csr, cap, 7);
+      auto freq = run_exact(trimmed, 2002, std::nullopt, &t);
+      char label[64];
+      std::snprintf(label, sizeof(label), "edge trimming (keep %u)", cap);
+      std::printf("%-34s %10.2f %20.4f\n", label, t, TotalVariation(truth, freq));
+    }
+  }
+  PrintRule(78);
+  std::printf("shape check (§3): the approximations shift the walk's stationary\n"
+              "behaviour well above the noise floor; KnightKing needs neither — its\n"
+              "exact run is already as fast or faster (rejection sampling makes hubs\n"
+              "cheap, which is the very cost the approximations were built to dodge).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 6: sampling overhead (edge transition probabilities computed per
+// step) with varying graph topology, traditional full scan vs. KnightKing
+// rejection sampling, running unbiased node2vec (p=2, q=0.5).
+//
+//   (a) uniform degree sweep           — full scan grows linearly, KK flat
+//   (b) truncated power-law cap sweep  — full scan grows with skew, KK flat
+//   (c) hotspot count sweep            — full scan grows linearly, KK flat
+//
+// Paper scale: 10M vertices, degrees to 25600, 1M-edge hotspots. Scaled
+// here to one machine: 10-30k vertices, degrees to 6400, 8k-edge hotspots —
+// the trends are scale-free.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace knightking;
+using namespace knightking::bench;
+
+namespace {
+
+struct Overheads {
+  double full_scan = 0.0;
+  double knightking = 0.0;
+};
+
+// Measures edges/step for both systems on the given graph with a sampled
+// walker set (the metric is per-step, so sampling does not bias it).
+Overheads Measure(const EdgeList<EmptyEdgeData>& list) {
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 20};
+  const walker_id_t kWalkers = 800;
+  Overheads result;
+  {
+    FullScanEngineOptions opts;
+    opts.seed = kRunSeed;
+    FullScanEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+    WalkerSpec<> walkers = Node2VecWalkers(kWalkers, params);
+    auto num_v = engine.graph().num_vertices();
+    walkers.start_vertex = [num_v](walker_id_t, Rng& rng) {
+      return static_cast<vertex_id_t>(rng.NextUInt64(num_v));
+    };
+    result.full_scan = engine.Run(Node2VecTransition(engine.graph(), params), walkers)
+                           .EdgesPerStep();
+  }
+  {
+    WalkEngineOptions opts;
+    opts.seed = kRunSeed;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+    WalkerSpec<> walkers = Node2VecWalkers(kWalkers * 4, params);
+    auto num_v = engine.graph().num_vertices();
+    walkers.start_vertex = [num_v](walker_id_t, Rng& rng) {
+      return static_cast<vertex_id_t>(rng.NextUInt64(num_v));
+    };
+    result.knightking = engine.Run(Node2VecTransition(engine.graph(), params), walkers)
+                            .EdgesPerStep();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6: sampling overhead vs graph topology (node2vec, edges/step)\n");
+
+  std::printf("\n(a) uniform degree sweep (10000 vertices)\n");
+  PrintRule(60);
+  std::printf("%10s %18s %18s\n", "degree", "full scan", "KnightKing");
+  for (vertex_id_t degree : {50u, 100u, 200u, 400u, 800u, 1600u}) {
+    auto list = GenerateUniformDegree(10000, degree, kGraphSeed + degree);
+    Overheads o = Measure(list);
+    std::printf("%10u %18.2f %18.2f\n", degree, o.full_scan, o.knightking);
+  }
+
+  std::printf("\n(b) truncated power-law degree cap sweep (30000 vertices, alpha=2)\n");
+  PrintRule(60);
+  std::printf("%10s %10s %14s %14s\n", "cap", "avg deg", "full scan", "KnightKing");
+  for (vertex_id_t cap : {100u, 400u, 1600u, 6400u, 25600u}) {
+    auto list = GenerateTruncatedPowerLaw(30000, 2.0, 10, cap, kGraphSeed + cap);
+    double avg_deg =
+        static_cast<double>(list.edges.size()) / static_cast<double>(list.num_vertices);
+    Overheads o = Measure(list);
+    std::printf("%10u %10.1f %14.2f %14.2f\n", cap, avg_deg, o.full_scan, o.knightking);
+  }
+
+  std::printf("\n(c) hotspot sweep (20000 vertices, base degree 100, hotspot degree 8000)\n");
+  PrintRule(60);
+  std::printf("%10s %18s %18s\n", "hotspots", "full scan", "KnightKing");
+  for (vertex_id_t hotspots : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    EdgeList<EmptyEdgeData> list =
+        hotspots == 0 ? GenerateUniformDegree(20000, 100, kGraphSeed)
+                      : GenerateHotspot(20000, 100, hotspots, 8000, kGraphSeed);
+    Overheads o = Measure(list);
+    std::printf("%10u %18.2f %18.2f\n", hotspots, o.full_scan, o.knightking);
+  }
+
+  PrintRule(60);
+  std::printf("shape check (paper Fig. 6): the full-scan column grows ~linearly with\n"
+              "degree / skew / hotspot count; the KnightKing column stays constant\n"
+              "(below one edge per step).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks for the engine substrate: mailbox exchange throughput,
+// thread-pool dispatch overhead (the cost light mode avoids), and
+// end-to-end walk step rates per algorithm class.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/deepwalk.h"
+#include "src/apps/node2vec.h"
+#include "src/engine/mailbox.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/thread_pool.h"
+
+namespace knightking {
+namespace {
+
+void BM_MailboxExchange(benchmark::State& state) {
+  node_rank_t nodes = 8;
+  Mailbox<uint64_t> mail(nodes);
+  size_t batch = state.range(0);
+  std::vector<uint64_t> payload(batch, 42);
+  for (auto _ : state) {
+    for (node_rank_t s = 0; s < nodes; ++s) {
+      for (node_rank_t d = 0; d < nodes; ++d) {
+        auto copy = payload;
+        mail.Post(s, d, std::move(copy));
+      }
+    }
+    mail.Exchange();
+    for (node_rank_t d = 0; d < nodes; ++d) {
+      benchmark::DoNotOptimize(mail.Inbox(d).size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * nodes * batch);
+}
+BENCHMARK(BM_MailboxExchange)->Range(64, 1 << 12);
+
+// The per-iteration coordination cost of a worker pool: this is what a node
+// pays in full mode even when almost no walkers remain, and what light mode
+// eliminates (§6.2).
+void BM_PoolDispatch(benchmark::State& state) {
+  ThreadPool pool(state.range(0));
+  for (auto _ : state) {
+    pool.ParallelFor(256, [](size_t, size_t) {});
+  }
+}
+BENCHMARK(BM_PoolDispatch)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_StaticWalkSteps(benchmark::State& state) {
+  WalkEngineOptions opts;
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(20000, 16, 3)), opts);
+  DeepWalkParams params{.walk_length = 80};
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    steps += engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(2000, params))
+                 .steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_StaticWalkSteps);
+
+void BM_Node2VecWalkSteps(benchmark::State& state) {
+  WalkEngineOptions opts;
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(20000, 16, 3)), opts);
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 80};
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    steps += engine.Run(Node2VecTransition(engine.graph(), params),
+                        Node2VecWalkers(2000, params))
+                 .steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_Node2VecWalkSteps);
+
+void BM_Node2VecDistributedSteps(benchmark::State& state) {
+  WalkEngineOptions opts;
+  opts.num_nodes = static_cast<node_rank_t>(state.range(0));
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(20000, 16, 3)), opts);
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 80};
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    steps += engine.Run(Node2VecTransition(engine.graph(), params),
+                        Node2VecWalkers(2000, params))
+                 .steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_Node2VecDistributedSteps)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace knightking

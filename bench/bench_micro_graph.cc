@@ -1,0 +1,84 @@
+// Micro-benchmarks for the graph substrate: generator throughput, CSR
+// construction, neighbor queries (the inner operation of node2vec's
+// distance checks), and partitioning.
+#include <benchmark/benchmark.h>
+
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/partition.h"
+#include "src/util/rng.h"
+
+namespace knightking {
+namespace {
+
+void BM_GenerateUniform(benchmark::State& state) {
+  vertex_id_t n = state.range(0);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto list = GenerateUniformDegree(n, 16, seed++);
+    benchmark::DoNotOptimize(list);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_GenerateUniform)->Range(1 << 10, 1 << 15);
+
+void BM_GeneratePowerLaw(benchmark::State& state) {
+  vertex_id_t n = state.range(0);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto list = GenerateTruncatedPowerLaw(n, 2.0, 4, n / 4, seed++);
+    benchmark::DoNotOptimize(list);
+  }
+}
+BENCHMARK(BM_GeneratePowerLaw)->Range(1 << 10, 1 << 15);
+
+void BM_CsrBuild(benchmark::State& state) {
+  auto list = GenerateUniformDegree(state.range(0), 32, 5);
+  for (auto _ : state) {
+    auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+    benchmark::DoNotOptimize(csr);
+  }
+  state.SetItemsProcessed(state.iterations() * list.edges.size());
+}
+BENCHMARK(BM_CsrBuild)->Range(1 << 10, 1 << 15);
+
+void BM_NeighborQuery(benchmark::State& state) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(
+      GenerateTruncatedPowerLaw(1 << 14, 2.0, 4, state.range(0), 9));
+  Rng rng(3);
+  vertex_id_t n = csr.num_vertices();
+  for (auto _ : state) {
+    auto u = static_cast<vertex_id_t>(rng.NextUInt64(n));
+    auto v = static_cast<vertex_id_t>(rng.NextUInt64(n));
+    benchmark::DoNotOptimize(csr.HasNeighbor(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborQuery)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_PartitionBuild(benchmark::State& state) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(1 << 15, 16, 4));
+  std::vector<vertex_id_t> degrees(csr.num_vertices());
+  for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+    degrees[v] = csr.OutDegree(v);
+  }
+  for (auto _ : state) {
+    Partition p = Partition::FromDegrees(degrees, state.range(0));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PartitionBuild)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_OwnerLookup(benchmark::State& state) {
+  std::vector<vertex_id_t> degrees(1 << 15, 16);
+  Partition p = Partition::FromDegrees(degrees, state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    auto v = static_cast<vertex_id_t>(rng.NextUInt64(degrees.size()));
+    benchmark::DoNotOptimize(p.OwnerOf(v));
+  }
+}
+BENCHMARK(BM_OwnerLookup)->Arg(2)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace knightking

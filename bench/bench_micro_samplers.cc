@@ -1,0 +1,110 @@
+// Micro-benchmarks for the sampling substrates: alias table vs ITS build
+// and draw costs (the O(n) build / O(1) vs O(log n) sample trade-off of
+// §3), and a single rejection trial vs a full scan per vertex degree (the
+// asymptotic claim of §4.1 at micro scale).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/sampling/alias_table.h"
+#include "src/sampling/its.h"
+#include "src/util/rng.h"
+
+namespace knightking {
+namespace {
+
+std::vector<real_t> MakeWeights(size_t n, uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<real_t> w(n);
+  for (auto& x : w) {
+    x = static_cast<real_t>(rng.NextDouble() * 4.0 + 1.0);
+  }
+  return w;
+}
+
+void BM_AliasBuild(benchmark::State& state) {
+  auto weights = MakeWeights(state.range(0));
+  for (auto _ : state) {
+    AliasTable table(weights);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AliasBuild)->Range(8, 1 << 16);
+
+void BM_ItsBuild(benchmark::State& state) {
+  auto weights = MakeWeights(state.range(0));
+  for (auto _ : state) {
+    InverseTransformSampler its(weights);
+    benchmark::DoNotOptimize(its);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ItsBuild)->Range(8, 1 << 16);
+
+void BM_AliasSample(benchmark::State& state) {
+  auto weights = MakeWeights(state.range(0));
+  AliasTable table(weights);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Range(8, 1 << 16);
+
+void BM_ItsSample(benchmark::State& state) {
+  auto weights = MakeWeights(state.range(0));
+  InverseTransformSampler its(weights);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(its.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ItsSample)->Range(8, 1 << 16);
+
+// One rejection trial: uniform candidate + one Pd evaluation. Cost is flat
+// in the degree...
+void BM_RejectionTrial(benchmark::State& state) {
+  size_t degree = state.range(0);
+  auto pd = [](size_t i) { return 0.5f + 0.5f * (i % 2); };
+  Rng rng(13);
+  for (auto _ : state) {
+    size_t candidate = rng.NextUInt64(degree);
+    float y = rng.NextFloat();
+    benchmark::DoNotOptimize(y < pd(candidate));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RejectionTrial)->Range(8, 1 << 16);
+
+// ...whereas the full scan recomputes Pd for every edge and builds a CDF.
+void BM_FullScanStep(benchmark::State& state) {
+  size_t degree = state.range(0);
+  auto pd = [](size_t i) { return 0.5f + 0.5f * (i % 2); };
+  Rng rng(13);
+  std::vector<double> cdf(degree);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t i = 0; i < degree; ++i) {
+      sum += pd(i);
+      cdf[i] = sum;
+    }
+    double r = rng.NextDouble(sum);
+    benchmark::DoNotOptimize(std::upper_bound(cdf.begin(), cdf.end(), r));
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_FullScanStep)->Range(8, 1 << 16);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,7 @@
+// Table 3: overall performance on unweighted graphs (see overall_tables.h).
+#include "bench/overall_tables.h"
+
+int main() {
+  knightking::bench::RunOverallTable(/*weighted=*/false);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Table 4: overall performance on weighted graphs (see overall_tables.h).
+#include "bench/overall_tables.h"
+
+int main() {
+  knightking::bench::RunOverallTable(/*weighted=*/true);
+  return 0;
+}

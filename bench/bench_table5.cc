@@ -1,0 +1,92 @@
+// Table 5: KnightKing optimizations on node2vec (unbiased, twitter-sim).
+//
+//   (a) lower-bound pre-acceptance across hyper-parameter settings
+//       paper: p=2,q=.5:  naive 49.22s/1.05 e/s,  L 44.14s/0.79 e/s
+//              p=.5,q=2:  naive 160.44s/3.60,     L 145.57s/2.70
+//              p=1,q=1:   naive 43.87s/1.00,      L 23.53s/0.00
+//   (b) outlier folding and its combination with the lower bound, p=.5,q=2
+//       paper: naive 160.44s/3.60, L 145.57/2.70, O 84.83/1.81, L+O 67.21/0.91
+//
+// The edges/step column is hardware-independent and should land close to
+// the paper's numbers; times scale with the testbed.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace knightking;
+using namespace knightking::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool lower;
+  bool outlier;
+};
+
+RunResult RunVariant(const EdgeList<EmptyEdgeData>& list, double p, double q, bool lower,
+                     bool outlier) {
+  WalkEngineOptions opts;
+  opts.seed = kRunSeed;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  Node2VecParams params{
+      .p = p, .q = q, .walk_length = 80, .use_lower_bound = lower, .use_outlier = outlier};
+  return TimedRun(engine, Node2VecTransition(engine.graph(), params),
+                  Node2VecWalkers(engine.graph().num_vertices(), params));
+}
+
+}  // namespace
+
+int main() {
+  auto list = BuildSimDataset(SimDataset::kTwitterSim, kGraphSeed);
+
+  std::printf("Table 5a: lower-bound optimization, node2vec on twitter-sim (unbiased)\n");
+  PrintRule();
+  std::printf("%-22s %12s %12s %12s\n", "", "p=2 q=0.5", "p=0.5 q=2", "p=1 q=1");
+  PrintRule();
+  struct PaperA {
+    double naive_t, lb_t, naive_e, lb_e;
+  };
+  const double paper_naive_e[3] = {1.05, 3.60, 1.00};
+  const double paper_lb_e[3] = {0.79, 2.70, 0.00};
+  const std::pair<double, double> pq[3] = {{2.0, 0.5}, {0.5, 2.0}, {1.0, 1.0}};
+
+  RunResult naive[3];
+  RunResult lb[3];
+  for (int i = 0; i < 3; ++i) {
+    naive[i] = RunVariant(list, pq[i].first, pq[i].second, false, false);
+    lb[i] = RunVariant(list, pq[i].first, pq[i].second, true, false);
+  }
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "exec time (s)  naive", naive[0].seconds,
+              naive[1].seconds, naive[2].seconds);
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "               lower", lb[0].seconds,
+              lb[1].seconds, lb[2].seconds);
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "edges/step     naive",
+              naive[0].stats.EdgesPerStep(), naive[1].stats.EdgesPerStep(),
+              naive[2].stats.EdgesPerStep());
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "               lower", lb[0].stats.EdgesPerStep(),
+              lb[1].stats.EdgesPerStep(), lb[2].stats.EdgesPerStep());
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "paper e/s      naive", paper_naive_e[0],
+              paper_naive_e[1], paper_naive_e[2]);
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", "               lower", paper_lb_e[0],
+              paper_lb_e[1], paper_lb_e[2]);
+
+  std::printf("\nTable 5b: outlier + lower bound, p=0.5 q=2 (most skewed Pd)\n");
+  PrintRule();
+  const Variant variants[] = {{"naive", false, false},
+                              {"lower bound (L)", true, false},
+                              {"outlier (O)", false, true},
+                              {"L+O", true, true}};
+  const double paper_b_t[4] = {160.44, 145.57, 84.83, 67.21};
+  const double paper_b_e[4] = {3.60, 2.70, 1.81, 0.91};
+  std::printf("%-18s %10s %12s %14s %14s\n", "variant", "time(s)", "edges/step",
+              "paper time(s)", "paper e/s");
+  PrintRule();
+  for (int i = 0; i < 4; ++i) {
+    RunResult r = RunVariant(list, 0.5, 2.0, variants[i].lower, variants[i].outlier);
+    std::printf("%-18s %10.2f %12.2f %14.2f %14.2f\n", variants[i].name, r.seconds,
+                r.stats.EdgesPerStep(), paper_b_t[i], paper_b_e[i]);
+  }
+  PrintRule();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Shared runner for Tables 3 (unweighted) and 4 (weighted): overall walk
+// execution time of DeepWalk / PPR / Meta-path / node2vec on the four
+// dataset stand-ins, Gemini-style full-scan baseline vs KnightKing.
+//
+// Methodology mirrors §7.1: |V| walkers; times include walker and sampling-
+// structure initialization but not graph loading/partitioning; full-scan
+// runs of the dynamic algorithms on the skewed graphs execute a random
+// walker sample and report linear extrapolations, marked (*).
+#ifndef BENCH_OVERALL_TABLES_H_
+#define BENCH_OVERALL_TABLES_H_
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace knightking {
+namespace bench {
+
+struct OverallPaperNumbers {
+  double deepwalk, ppr, metapath, node2vec;  // paper speedups per dataset
+};
+
+// Fraction of |V| walkers the full-scan baseline runs for each dynamic
+// algorithm (per dataset; static algorithms always run in full).
+inline double BaselineFraction(SimDataset dataset) {
+  switch (dataset) {
+    case SimDataset::kLiveJournalSim:
+      return 0.2;
+    case SimDataset::kFriendsterSim:
+      return 0.1;
+    case SimDataset::kTwitterSim:
+      return 0.02;
+    case SimDataset::kUkUnionSim:
+      return 0.02;
+  }
+  return 0.1;
+}
+
+// Runs one (algorithm, dataset) cell for both systems.
+template <typename EdgeData, typename WalkerState, typename MakeTransition,
+          typename MakeWalkers>
+void RunCell(const EdgeList<EdgeData>& list, double baseline_fraction,
+             const MakeTransition& make_transition, const MakeWalkers& make_walkers,
+             RunResult* baseline_out, RunResult* kk_out) {
+  walker_id_t num_walkers = list.num_vertices;
+  {
+    FullScanEngineOptions opts;
+    opts.seed = kRunSeed;
+    FullScanEngine<EdgeData, WalkerState> engine(Csr<EdgeData>::FromEdgeList(list), opts);
+    *baseline_out = TimedRun(engine, make_transition(engine.graph()),
+                             make_walkers(num_walkers), baseline_fraction);
+  }
+  {
+    WalkEngineOptions opts;
+    opts.seed = kRunSeed;
+    WalkEngine<EdgeData, WalkerState> engine(Csr<EdgeData>::FromEdgeList(list), opts);
+    *kk_out = TimedRun(engine, make_transition(engine.graph()), make_walkers(num_walkers));
+  }
+}
+
+inline void PrintRow(const char* algo, const char* graph, const RunResult& baseline,
+              const RunResult& kk, double paper_speedup) {
+  double speedup = baseline.FullSeconds() / kk.FullSeconds();
+  std::printf("%-10s %-16s %s %s %9.2f%s %10.2f\n", algo, graph,
+              FormatTime(baseline).c_str(), FormatTime(kk).c_str(), speedup,
+              baseline.extrapolated ? "*" : " ", paper_speedup);
+}
+
+// weighted == false => Table 3, true => Table 4.
+inline void RunOverallTable(bool weighted) {
+  std::printf("Table %d: overall performance on %s graphs, full-scan baseline vs "
+              "KnightKing\n",
+              weighted ? 4 : 3, weighted ? "weighted" : "unweighted");
+  PrintRule(86);
+  std::printf("%-10s %-16s %10s %10s %10s %11s\n", "algo", "graph", "baseline(s)",
+              "KK(s)", "speedup", "paper-spdup");
+  PrintRule(86);
+
+  // Paper speedups (Tables 3 / 4), indexed by dataset.
+  const OverallPaperNumbers paper_unweighted[kNumSimDatasets] = {
+      {7.93, 16.94, 23.20, 11.93},
+      {8.61, 9.65, 21.41, 21.02},
+      {7.60, 9.94, 1152.03, 2206.12},
+      {5.78, 7.10, 8037.50, 11138.85},
+  };
+  const OverallPaperNumbers paper_weighted[kNumSimDatasets] = {
+      {5.65, 14.92, 20.32, 11.11},
+      {6.35, 7.80, 16.25, 18.85},
+      {5.91, 8.59, 1711.62, 2048.53},
+      {3.70, 5.01, 9570.07, 10126.20},
+  };
+  const OverallPaperNumbers* paper = weighted ? paper_weighted : paper_unweighted;
+
+  MetaPathParams metapath_params = PaperMetaPathParams();
+  Node2VecParams node2vec_params{.p = 2.0, .q = 0.5, .walk_length = 80};
+  PprParams ppr_params{.terminate_prob = 1.0 / 80.0};
+  DeepWalkParams deepwalk_params{.walk_length = 80};
+
+  for (int d = 0; d < kNumSimDatasets; ++d) {
+    auto dataset = static_cast<SimDataset>(d);
+    const char* name = SimDatasetName(dataset);
+    auto base_list = BuildSimDataset(dataset, kGraphSeed);
+    double fraction = BaselineFraction(dataset);
+    RunResult b, k;
+
+    if (!weighted) {
+      // DeepWalk / PPR / node2vec on the unweighted graph.
+      RunCell<EmptyEdgeData, EmptyWalkerState>(
+          base_list, 1.0,
+          [](const Csr<EmptyEdgeData>&) { return DeepWalkTransition<EmptyEdgeData>(); },
+          [&](walker_id_t n) { return DeepWalkWalkers(n, deepwalk_params); }, &b, &k);
+      PrintRow("DeepWalk", name, b, k, paper[d].deepwalk);
+
+      RunCell<EmptyEdgeData, EmptyWalkerState>(
+          base_list, 1.0,
+          [](const Csr<EmptyEdgeData>&) { return PprTransition<EmptyEdgeData>(); },
+          [&](walker_id_t n) { return PprWalkers(n, ppr_params); }, &b, &k);
+      PrintRow("PPR", name, b, k, paper[d].ppr);
+
+      auto typed = AssignEdgeTypes(base_list, 5, kWeightSeed);
+      RunCell<TypedEdgeData, MetaPathWalkerState>(
+          typed, fraction,
+          [&](const Csr<TypedEdgeData>&) {
+            return MetaPathTransition<TypedEdgeData>(metapath_params);
+          },
+          [&](walker_id_t n) { return MetaPathWalkers(n, metapath_params); }, &b, &k);
+      PrintRow("Meta-path", name, b, k, paper[d].metapath);
+
+      RunCell<EmptyEdgeData, EmptyWalkerState>(
+          base_list, fraction,
+          [&](const Csr<EmptyEdgeData>& g) { return Node2VecTransition(g, node2vec_params); },
+          [&](walker_id_t n) { return Node2VecWalkers(n, node2vec_params); }, &b, &k);
+      PrintRow("node2vec", name, b, k, paper[d].node2vec);
+    } else {
+      auto weighted_list = AssignUniformWeights(base_list, 1.0f, 5.0f, kWeightSeed);
+      RunCell<WeightedEdgeData, EmptyWalkerState>(
+          weighted_list, 1.0,
+          [](const Csr<WeightedEdgeData>&) { return DeepWalkTransition<WeightedEdgeData>(); },
+          [&](walker_id_t n) { return DeepWalkWalkers(n, deepwalk_params); }, &b, &k);
+      PrintRow("DeepWalk", name, b, k, paper[d].deepwalk);
+
+      RunCell<WeightedEdgeData, EmptyWalkerState>(
+          weighted_list, 1.0,
+          [](const Csr<WeightedEdgeData>&) { return PprTransition<WeightedEdgeData>(); },
+          [&](walker_id_t n) { return PprWalkers(n, ppr_params); }, &b, &k);
+      PrintRow("PPR", name, b, k, paper[d].ppr);
+
+      auto typed = AssignWeightsAndTypes(base_list, 1.0f, 5.0f, 5, kWeightSeed);
+      RunCell<WeightedTypedEdgeData, MetaPathWalkerState>(
+          typed, fraction,
+          [&](const Csr<WeightedTypedEdgeData>&) {
+            return MetaPathTransition<WeightedTypedEdgeData>(metapath_params);
+          },
+          [&](walker_id_t n) { return MetaPathWalkers(n, metapath_params); }, &b, &k);
+      PrintRow("Meta-path", name, b, k, paper[d].metapath);
+
+      RunCell<WeightedEdgeData, EmptyWalkerState>(
+          weighted_list, fraction,
+          [&](const Csr<WeightedEdgeData>& g) { return Node2VecTransition(g, node2vec_params); },
+          [&](walker_id_t n) { return Node2VecWalkers(n, node2vec_params); }, &b, &k);
+      PrintRow("node2vec", name, b, k, paper[d].node2vec);
+    }
+  }
+  PrintRule(86);
+  std::printf("(*) baseline ran a random walker sample and was linearly extrapolated, as "
+              "in the paper.\nAbsolute speedups are hardware- and scale-dependent; the "
+              "reproduced shape is static ~parity-to-small-gain vs dynamic blow-up "
+              "growing with graph skew (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace bench
+}  // namespace knightking
+
+#endif  // BENCH_OVERALL_TABLES_H_

@@ -1,0 +1,196 @@
+// kkwalk — command-line walk runner over graph files.
+//
+//   $ ./kkwalk <graph_path> <algorithm> [options]
+//
+//     algorithms: deepwalk | ppr | node2vec | noreturn
+//     options:
+//       --weighted            graph file carries weights ("src dst w" lines
+//                             or weighted binary); enables biased walks
+//       --binary              graph file is the binary edge-list format
+//       --length N            walk length (default 80; 0 = unbounded)
+//       --pt P                PPR termination probability (default 1/80)
+//       --p P --q Q           node2vec hyper-parameters (default 1, 1)
+//       --walkers N           walkers per round (default |V|)
+//       --rounds R            rounds, reseeded per round (default 1)
+//       --nodes N             logical cluster nodes (default 1)
+//       --seed S              master seed (default 1)
+//       --out PATH            corpus output, text, one walk per line
+//                             (default: print stats only)
+//
+// Runs the walk, prints paper-style sampling statistics, and optionally
+// writes the corpus. Multi-round runs append all rounds to one corpus.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/apps/deepwalk.h"
+#include "src/apps/no_return.h"
+#include "src/apps/node2vec.h"
+#include "src/apps/ppr.h"
+#include "src/engine/path_io.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/csr.h"
+#include "src/graph/edge_list.h"
+#include "src/util/timer.h"
+
+using namespace knightking;
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string algorithm;
+  std::string out_path;
+  bool weighted = false;
+  bool binary = false;
+  step_t length = 80;
+  double pt = 1.0 / 80.0;
+  double p = 1.0;
+  double q = 1.0;
+  walker_id_t walkers = 0;  // 0 = |V|
+  uint32_t rounds = 1;
+  node_rank_t nodes = 1;
+  uint64_t seed = 1;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: kkwalk <graph> <deepwalk|ppr|node2vec|noreturn> [--weighted]\n"
+               "              [--binary] [--length N] [--pt P] [--p P] [--q Q]\n"
+               "              [--walkers N] [--rounds R] [--nodes N] [--seed S]\n"
+               "              [--out corpus.txt]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  if (argc < 3) {
+    return false;
+  }
+  opt->graph_path = argv[1];
+  opt->algorithm = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    auto next_val = [&](double* out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (std::strcmp(argv[i], "--weighted") == 0) {
+      opt->weighted = true;
+    } else if (std::strcmp(argv[i], "--binary") == 0) {
+      opt->binary = true;
+    } else if (std::strcmp(argv[i], "--length") == 0 && next_val(&v)) {
+      opt->length = static_cast<step_t>(v);
+    } else if (std::strcmp(argv[i], "--pt") == 0 && next_val(&v)) {
+      opt->pt = v;
+    } else if (std::strcmp(argv[i], "--p") == 0 && next_val(&v)) {
+      opt->p = v;
+    } else if (std::strcmp(argv[i], "--q") == 0 && next_val(&v)) {
+      opt->q = v;
+    } else if (std::strcmp(argv[i], "--walkers") == 0 && next_val(&v)) {
+      opt->walkers = static_cast<walker_id_t>(v);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && next_val(&v)) {
+      opt->rounds = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && next_val(&v)) {
+      opt->nodes = static_cast<node_rank_t>(v);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && next_val(&v)) {
+      opt->seed = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt->out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename EdgeData>
+int RunWalks(const CliOptions& opt) {
+  EdgeList<EdgeData> list;
+  bool loaded = opt.binary ? ReadEdgeListBinary(opt.graph_path, &list)
+                           : ReadEdgeListText(opt.graph_path, &list);
+  if (!loaded) {
+    std::fprintf(stderr, "cannot load %s\n", opt.graph_path.c_str());
+    return 1;
+  }
+  auto csr = Csr<EdgeData>::FromEdgeList(list);
+  std::printf("graph: %u vertices, %llu edges\n", csr.num_vertices(),
+              static_cast<unsigned long long>(csr.num_edges()));
+
+  WalkEngineOptions eopts;
+  eopts.num_nodes = opt.nodes;
+  eopts.seed = opt.seed;
+  eopts.collect_paths = !opt.out_path.empty();
+  WalkEngine<EdgeData> engine(std::move(csr), eopts);
+
+  walker_id_t walkers_per_round =
+      opt.walkers > 0 ? opt.walkers : engine.graph().num_vertices();
+
+  TransitionSpec<EdgeData> transition;
+  WalkerSpec<> walker_spec;
+  walker_spec.num_walkers = walkers_per_round;
+  walker_spec.max_steps = opt.length;
+  if (opt.algorithm == "deepwalk") {
+    transition = DeepWalkTransition<EdgeData>();
+  } else if (opt.algorithm == "ppr") {
+    transition = PprTransition<EdgeData>();
+    walker_spec.max_steps = 0;
+    walker_spec.terminate_prob = opt.pt;
+  } else if (opt.algorithm == "node2vec") {
+    Node2VecParams params{.p = opt.p, .q = opt.q, .walk_length = opt.length};
+    transition = Node2VecTransition(engine.graph(), params);
+  } else if (opt.algorithm == "noreturn") {
+    transition = NoReturnTransition<EdgeData>();
+  } else {
+    Usage();
+    return 1;
+  }
+
+  std::vector<std::vector<vertex_id_t>> corpus;
+  SamplingStats total;
+  Timer timer;
+  for (uint32_t round = 0; round < opt.rounds; ++round) {
+    engine.set_seed(HashCombine64(opt.seed, round));
+    SamplingStats stats = engine.Run(transition, walker_spec);
+    total.Merge(stats);
+    if (eopts.collect_paths) {
+      auto paths = engine.TakePaths();
+      corpus.insert(corpus.end(), std::make_move_iterator(paths.begin()),
+                    std::make_move_iterator(paths.end()));
+    }
+  }
+  double secs = timer.Seconds();
+  std::printf("%s: %u round(s) x %llu walkers, %llu steps in %.2fs "
+              "(%.2f edges/step, %.2f trials/step)\n",
+              opt.algorithm.c_str(), opt.rounds,
+              static_cast<unsigned long long>(walkers_per_round),
+              static_cast<unsigned long long>(total.steps), secs, total.EdgesPerStep(),
+              total.TrialsPerStep());
+
+  if (!opt.out_path.empty()) {
+    if (!WritePathsText(corpus, opt.out_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out_path.c_str());
+      return 1;
+    }
+    CorpusStats cs = ComputeCorpusStats(corpus);
+    std::printf("wrote %llu walks (mean length %.1f) to %s\n",
+                static_cast<unsigned long long>(cs.walks), cs.mean_length,
+                opt.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    Usage();
+    return 1;
+  }
+  return opt.weighted ? RunWalks<WeightedEdgeData>(opt) : RunWalks<EmptyEdgeData>(opt);
+}

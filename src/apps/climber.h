@@ -1,0 +1,94 @@
+// Degree-climbing random walk: a second-order dynamic walk whose
+// walker-to-vertex query carries a *non-boolean* payload.
+//
+// Motivated by hub-seeking exploration (e.g. influence-maximization seed
+// scouting): a walker prefers moving "uphill" in the degree landscape.
+// For a walker that just traversed an edge from a vertex of degree d_prev:
+//
+//     Pd(e) = 1          if deg(e.dst) >= d_prev   (climb or hold)
+//     Pd(e) = demotion   otherwise                  (downhill, discouraged)
+//
+// deg(e.dst) lives on the node owning e.dst, so evaluating Pd needs a
+// walker-to-vertex state query whose *response is the degree* (uint32), not
+// a membership bit — demonstrating the engine's typed query channel. The
+// walker remembers d_prev in its custom state (updated via on_move, where
+// the source vertex's degree is local).
+#ifndef SRC_APPS_CLIMBER_H_
+#define SRC_APPS_CLIMBER_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/graph/csr.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct ClimberState {
+  // Degree of the vertex the walker came from (d_prev); 0 before any move.
+  uint32_t prev_degree = 0;
+  friend bool operator==(const ClimberState&, const ClimberState&) = default;
+};
+
+struct ClimberParams {
+  // Pd of a downhill edge; in (0, 1]. Smaller = stronger hub preference.
+  real_t demotion = 0.25f;
+  step_t walk_length = 80;
+};
+
+// `graph` must outlive the spec (on_move reads local degrees); pass
+// engine.graph().
+template <typename EdgeData>
+TransitionSpec<EdgeData, ClimberState, uint32_t> ClimberTransition(const Csr<EdgeData>& graph,
+                                                                   const ClimberParams& params) {
+  KK_CHECK(params.demotion > 0.0f && params.demotion <= 1.0f);
+  const real_t demotion = params.demotion;
+
+  TransitionSpec<EdgeData, ClimberState, uint32_t> spec;
+
+  spec.dynamic_comp = [demotion](const Walker<ClimberState>& w, vertex_id_t,
+                                 const AdjUnit<EdgeData>& /*e*/,
+                                 const std::optional<uint32_t>& query_result) -> real_t {
+    if (w.step == 0) {
+      return 1.0f;  // first hop: pure Ps
+    }
+    KK_CHECK(query_result.has_value());  // the candidate's degree
+    return *query_result >= w.state.prev_degree ? 1.0f : demotion;
+  };
+  spec.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+  spec.dynamic_lower_bound = [demotion](vertex_id_t, vertex_id_t) { return demotion; };
+
+  // Query the candidate itself; its owner answers with its out-degree.
+  spec.post_query = [](const Walker<ClimberState>& w, vertex_id_t,
+                       const AdjUnit<EdgeData>& e) -> std::optional<vertex_id_t> {
+    if (w.step == 0) {
+      return std::nullopt;
+    }
+    return e.neighbor;
+  };
+  spec.respond_query = [](const Csr<EdgeData>& g, vertex_id_t target, vertex_id_t /*subject*/) {
+    return static_cast<uint32_t>(g.OutDegree(target));
+  };
+
+  spec.on_move = [&graph](Walker<ClimberState>& w, vertex_id_t from,
+                          const AdjUnit<EdgeData>& /*e*/) {
+    w.state.prev_degree = graph.OutDegree(from);
+  };
+
+  return spec;
+}
+
+inline WalkerSpec<ClimberState> ClimberWalkers(walker_id_t num_walkers,
+                                               const ClimberParams& params) {
+  WalkerSpec<ClimberState> spec;
+  spec.num_walkers = num_walkers;
+  spec.max_steps = params.walk_length;
+  return spec;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_APPS_CLIMBER_H_

@@ -1,0 +1,34 @@
+// DeepWalk (§2.2): biased (or unbiased) *static* truncated random walk.
+//
+// Ps is the edge weight (1 on unweighted graphs), Pd == 1, and Pe truncates
+// every walk at a fixed length (80 in the paper's evaluation). The engine
+// runs it in lockstep mode with pure static sampling — no rejection needed.
+#ifndef SRC_APPS_DEEPWALK_H_
+#define SRC_APPS_DEEPWALK_H_
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct DeepWalkParams {
+  step_t walk_length = 80;
+};
+
+// Transition spec: everything defaulted — static component = edge weight.
+template <typename EdgeData>
+TransitionSpec<EdgeData> DeepWalkTransition() {
+  return TransitionSpec<EdgeData>{};
+}
+
+inline WalkerSpec<> DeepWalkWalkers(walker_id_t num_walkers, const DeepWalkParams& params) {
+  WalkerSpec<> spec;
+  spec.num_walkers = num_walkers;
+  spec.max_steps = params.walk_length;
+  return spec;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_APPS_DEEPWALK_H_

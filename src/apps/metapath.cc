@@ -1,0 +1,21 @@
+#include "src/apps/metapath.h"
+
+namespace knightking {
+
+std::vector<std::vector<edge_type_t>> GenerateMetaPathSchemes(uint32_t num_schemes,
+                                                              uint32_t scheme_length,
+                                                              edge_type_t num_types,
+                                                              uint64_t seed) {
+  KK_CHECK(num_schemes > 0 && scheme_length > 0 && num_types > 0);
+  Rng rng(seed);
+  std::vector<std::vector<edge_type_t>> schemes(num_schemes);
+  for (auto& scheme : schemes) {
+    scheme.resize(scheme_length);
+    for (auto& t : scheme) {
+      t = static_cast<edge_type_t>(rng.NextUInt32(num_types));
+    }
+  }
+  return schemes;
+}
+
+}  // namespace knightking

@@ -1,0 +1,79 @@
+// Meta-path based random walk (§2.2, Eq. 1): dynamic, first-order.
+//
+// Each walker is assigned one of N user-supplied meta-path schemes (a cyclic
+// sequence of edge types). At step k it may only follow edges whose type
+// equals scheme[k mod |scheme|]: Pd is the 0/1 type-match indicator, so the
+// envelope is Q = 1 and rejection trials simply re-draw until a matching
+// type comes up. When no out-edge matches, the walk terminates (no positive
+// transition probability) — the engine's bounded-trial exact fallback
+// detects this.
+#ifndef SRC_APPS_METAPATH_H_
+#define SRC_APPS_METAPATH_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct MetaPathWalkerState {
+  uint32_t scheme = 0;
+  friend bool operator==(const MetaPathWalkerState&, const MetaPathWalkerState&) = default;
+};
+
+struct MetaPathParams {
+  // schemes[i] is a cyclic sequence of edge types.
+  std::vector<std::vector<edge_type_t>> schemes;
+  step_t walk_length = 80;
+};
+
+// Random cyclic schemes: the paper's setup is 10 schemes of length 5 over 5
+// edge types, each walker assigned one scheme uniformly at random.
+std::vector<std::vector<edge_type_t>> GenerateMetaPathSchemes(uint32_t num_schemes,
+                                                              uint32_t scheme_length,
+                                                              edge_type_t num_types,
+                                                              uint64_t seed);
+
+template <typename EdgeData>
+  requires HasEdgeType<EdgeData>
+TransitionSpec<EdgeData, MetaPathWalkerState> MetaPathTransition(const MetaPathParams& params) {
+  KK_CHECK(!params.schemes.empty());
+  for (const auto& s : params.schemes) {
+    KK_CHECK(!s.empty());
+  }
+  auto schemes = std::make_shared<std::vector<std::vector<edge_type_t>>>(params.schemes);
+
+  TransitionSpec<EdgeData, MetaPathWalkerState> spec;
+  spec.dynamic_comp = [schemes](const Walker<MetaPathWalkerState>& w, vertex_id_t /*cur*/,
+                                const AdjUnit<EdgeData>& e,
+                                const std::optional<uint8_t>& /*query*/) -> real_t {
+    const auto& scheme = (*schemes)[w.state.scheme];
+    edge_type_t wanted = scheme[w.step % scheme.size()];
+    return e.data.type == wanted ? 1.0f : 0.0f;
+  };
+  spec.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+  // No lower bound is possible: Pd reaches 0 on mismatching types.
+  return spec;
+}
+
+inline WalkerSpec<MetaPathWalkerState> MetaPathWalkers(walker_id_t num_walkers,
+                                                       const MetaPathParams& params) {
+  WalkerSpec<MetaPathWalkerState> spec;
+  spec.num_walkers = num_walkers;
+  spec.max_steps = params.walk_length;
+  uint32_t num_schemes = static_cast<uint32_t>(params.schemes.size());
+  spec.init_state = [num_schemes](Walker<MetaPathWalkerState>& w) {
+    w.state.scheme = w.rng.NextUInt32(num_schemes);
+  };
+  return spec;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_APPS_METAPATH_H_

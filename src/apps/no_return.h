@@ -1,0 +1,53 @@
+// Non-backtracking random walk ("remember where you came from", cf. the
+// second-order proximity measures of Wu et al., VLDB'16, cited by the
+// paper).
+//
+// A second-order walk by the paper's taxonomy — the transition probability
+// depends on the previously visited vertex — but one whose Pd is *locally*
+// decidable (the return edge is identified by comparing against w.prev, no
+// remote state needed). It therefore runs in the engine's lockstep mode
+// with no walker-to-vertex queries, illustrating that "order" (taxonomy)
+// and "query requirement" (mechanism) are orthogonal:
+//
+//     Pd(e) = 0  if e.dst == prev   (never backtrack)
+//     Pd(e) = 1  otherwise
+//
+// A walker whose only option is backtracking (degree-1 dead end) terminates
+// — detected exactly by the engine's bounded-trial fallback scan.
+#ifndef SRC_APPS_NO_RETURN_H_
+#define SRC_APPS_NO_RETURN_H_
+
+#include <optional>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct NoReturnParams {
+  step_t walk_length = 80;
+};
+
+template <typename EdgeData>
+TransitionSpec<EdgeData> NoReturnTransition() {
+  TransitionSpec<EdgeData> spec;
+  spec.dynamic_comp = [](const Walker<>& w, vertex_id_t, const AdjUnit<EdgeData>& e,
+                         const std::optional<uint8_t>&) -> real_t {
+    return (w.step > 0 && e.neighbor == w.prev) ? 0.0f : 1.0f;
+  };
+  spec.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+  // No lower bound: Pd reaches 0 on the return edge.
+  return spec;
+}
+
+inline WalkerSpec<> NoReturnWalkers(walker_id_t num_walkers, const NoReturnParams& params) {
+  WalkerSpec<> spec;
+  spec.num_walkers = num_walkers;
+  spec.max_steps = params.walk_length;
+  return spec;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_APPS_NO_RETURN_H_

@@ -1,0 +1,26 @@
+#include "src/apps/ppr.h"
+
+namespace knightking {
+
+std::unordered_map<vertex_id_t, double> EstimatePprScores(
+    std::span<const std::vector<vertex_id_t>> paths, vertex_id_t source) {
+  std::unordered_map<vertex_id_t, double> scores;
+  uint64_t total = 0;
+  for (const auto& path : paths) {
+    if (path.empty() || path.front() != source) {
+      continue;
+    }
+    for (vertex_id_t v : path) {
+      scores[v] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (auto& [v, s] : scores) {
+      s /= static_cast<double>(total);
+    }
+  }
+  return scores;
+}
+
+}  // namespace knightking

@@ -1,0 +1,48 @@
+// Personalized PageRank via random walks (§2.2).
+//
+// A biased *static* walk with geometric termination: at every arrival the
+// walker stops with probability Pt (the paper uses Pt = 1/80, and 0.149 for
+// the straggler experiments). Walk sequences are the Monte-Carlo material
+// for fully-personalized PageRank queries: the PPR score of vertex u
+// personalized to source s is estimated by the frequency of u among the
+// stops of walks started at s.
+#ifndef SRC_APPS_PPR_H_
+#define SRC_APPS_PPR_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct PprParams {
+  double terminate_prob = 1.0 / 80.0;
+};
+
+template <typename EdgeData>
+TransitionSpec<EdgeData> PprTransition() {
+  return TransitionSpec<EdgeData>{};
+}
+
+inline WalkerSpec<> PprWalkers(walker_id_t num_walkers, const PprParams& params) {
+  WalkerSpec<> spec;
+  spec.num_walkers = num_walkers;
+  spec.max_steps = 0;  // unbounded: termination is probabilistic only
+  spec.terminate_prob = params.terminate_prob;
+  return spec;
+}
+
+// Offline PPR estimation from collected walk paths: for walks started at
+// `source`, every visited vertex contributes one count; scores normalize to
+// sum 1. (Decayed variants exist; the plain stationary-visit estimator is
+// what walk-sequence stores like PowerWalk serve.)
+std::unordered_map<vertex_id_t, double> EstimatePprScores(
+    std::span<const std::vector<vertex_id_t>> paths, vertex_id_t source);
+
+}  // namespace knightking
+
+#endif  // SRC_APPS_PPR_H_

@@ -1,0 +1,104 @@
+// The approximation schemes §3 surveys as the state of the art before
+// KnightKing — implemented so the evaluation can quantify what they trade
+// away (bench_approx):
+//
+//   * Edge trimming (node2vec-on-spark): vertices above a degree cap keep
+//     only `cap` randomly chosen out-edges, making pre-processing feasible
+//     at the cost of deleting structure.
+//   * Hybrid static switch (Fast-Node2Vec's GFS-H): vertices above a degree
+//     threshold ignore the dynamic component and sample statically (the
+//     walker behaves first-order at hubs), trading exactness at exactly the
+//     vertices that dominate cost.
+//
+// Both wrap existing machinery: trimming is a graph transform; the hybrid
+// is a TransitionSpec combinator usable with any engine.
+#ifndef SRC_BASELINE_APPROXIMATIONS_H_
+#define SRC_BASELINE_APPROXIMATIONS_H_
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "src/engine/transition.h"
+#include "src/graph/csr.h"
+#include "src/graph/edge_list.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// node2vec-on-spark-style trimming: every vertex with out-degree above
+// `max_degree` keeps a uniform random sample of `max_degree` out-edges.
+// (The paper notes the original selects 30.) The result is generally no
+// longer symmetric: trimming u's edge to v does not trim v's edge to u.
+template <typename EdgeData>
+EdgeList<EdgeData> TrimHighDegreeVertices(const Csr<EdgeData>& graph, vertex_id_t max_degree,
+                                          uint64_t seed) {
+  KK_CHECK(max_degree > 0);
+  EdgeList<EdgeData> out;
+  out.num_vertices = graph.num_vertices();
+  Rng rng(seed);
+  std::vector<vertex_id_t> pick;
+  for (vertex_id_t v = 0; v < graph.num_vertices(); ++v) {
+    auto neighbors = graph.Neighbors(v);
+    if (neighbors.size() <= max_degree) {
+      for (const auto& adj : neighbors) {
+        out.edges.push_back({v, adj.neighbor, adj.data});
+      }
+      continue;
+    }
+    // Partial Fisher-Yates over edge indices: uniform sample w/o replacement.
+    pick.resize(neighbors.size());
+    for (size_t i = 0; i < pick.size(); ++i) {
+      pick[i] = static_cast<vertex_id_t>(i);
+    }
+    for (vertex_id_t k = 0; k < max_degree; ++k) {
+      size_t j = k + static_cast<size_t>(rng.NextUInt64(pick.size() - k));
+      std::swap(pick[k], pick[j]);
+      const auto& adj = neighbors[pick[k]];
+      out.edges.push_back({v, adj.neighbor, adj.data});
+    }
+  }
+  return out;
+}
+
+// Fast-Node2Vec-style hybrid: wraps a dynamic TransitionSpec so that trials
+// at vertices with degree > `degree_threshold` skip the dynamic component
+// entirely (Pd treated as the envelope: every dart accepts, no queries).
+// Below the threshold the walk is exact.
+template <typename EdgeData, typename WalkerState, typename QueryResponse>
+TransitionSpec<EdgeData, WalkerState, QueryResponse> HybridStaticSwitch(
+    TransitionSpec<EdgeData, WalkerState, QueryResponse> spec, const Csr<EdgeData>& graph,
+    vertex_id_t degree_threshold) {
+  KK_CHECK(spec.IsDynamic());
+  auto inner_dynamic = spec.dynamic_comp;
+  auto inner_upper = spec.dynamic_upper_bound;
+  spec.dynamic_comp = [inner_dynamic, inner_upper, &graph, degree_threshold](
+                          const Walker<WalkerState>& w, vertex_id_t cur,
+                          const AdjUnit<EdgeData>& e,
+                          const std::optional<QueryResponse>& query_result) -> real_t {
+    vertex_id_t degree = graph.OutDegree(cur);
+    if (degree > degree_threshold) {
+      return inner_upper(cur, degree);  // accept unconditionally: Ps-only
+    }
+    return inner_dynamic(w, cur, e, query_result);
+  };
+  if (spec.post_query) {
+    auto inner_query = spec.post_query;
+    spec.post_query = [inner_query, &graph, degree_threshold](
+                          const Walker<WalkerState>& w, vertex_id_t cur,
+                          const AdjUnit<EdgeData>& e) -> std::optional<vertex_id_t> {
+      if (graph.OutDegree(cur) > degree_threshold) {
+        return std::nullopt;  // no state check needed: statically sampled
+      }
+      return inner_query(w, cur, e);
+    };
+  }
+  // Outlier folding is pointless above the threshold and unchanged below.
+  return spec;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_BASELINE_APPROXIMATIONS_H_

@@ -1,0 +1,273 @@
+// The comparison system of §7: a random-walk adaptation of a traditional
+// graph engine (Gemini), re-implemented faithfully as a baseline.
+//
+// Sampling strategy, following §7.1 "Systems for comparison":
+//
+//   * Static walks: transition probabilities and sampling structures are
+//     pre-computed. Two-phase sampling emulates Gemini's mirror-based
+//     execution: phase 1 picks the destination *node* via ITS over per-node
+//     weight sums; phase 2 picks the edge within that node's range (the
+//     mirror's share of the adjacency list) via ITS.
+//   * Dynamic walks: the transition probability of *every* out-edge is
+//     recomputed at each step (the full scan whose cost Table 1 and Figure 6
+//     quantify), a CDF is built over the products Ps * Pd, and one ITS draw
+//     selects the edge.
+//
+// Second-order state queries (node2vec's adjacency checks) are answered by
+// direct memory access here, which *favors* this baseline: in the real
+// distributed Gemini each check costs a round trip. Counters tally one
+// probability computation per scanned edge so the baseline is directly
+// comparable with the KnightKing engine's counters.
+#ifndef SRC_BASELINE_FULL_SCAN_ENGINE_H_
+#define SRC_BASELINE_FULL_SCAN_ENGINE_H_
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/graph/csr.h"
+#include "src/graph/partition.h"
+#include "src/sampling/stats.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct FullScanEngineOptions {
+  // Logical cluster size: determines the two-phase sampling split for
+  // static walks (Gemini mirrors one vertex across all nodes holding its
+  // edges).
+  node_rank_t num_nodes = 1;
+  uint64_t seed = 1;
+  bool collect_paths = false;
+};
+
+template <typename EdgeData, typename WalkerState = EmptyWalkerState,
+          typename QueryResponse = uint8_t>
+class FullScanEngine {
+ public:
+  using WalkerT = Walker<WalkerState>;
+  using AdjT = AdjUnit<EdgeData>;
+  using TransitionT = TransitionSpec<EdgeData, WalkerState, QueryResponse>;
+  using WalkerSpecT = WalkerSpec<WalkerState>;
+
+  FullScanEngine(Csr<EdgeData> graph, FullScanEngineOptions options)
+      : graph_(std::move(graph)), options_(options) {
+    KK_CHECK(options_.num_nodes > 0);
+    std::vector<vertex_id_t> degrees(graph_.num_vertices());
+    for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+      degrees[v] = graph_.OutDegree(v);
+    }
+    partition_ = Partition::FromDegrees(degrees, options_.num_nodes);
+  }
+
+  const Csr<EdgeData>& graph() const { return graph_; }
+
+  SamplingStats Run(const TransitionT& transition, const WalkerSpecT& walker_spec) {
+    transition_ = &transition;
+    walker_spec_ = &walker_spec;
+    dynamic_ = transition.IsDynamic();
+    stats_ = SamplingStats{};
+    paths_.clear();
+    if (!dynamic_) {
+      BuildStaticStructures();
+    }
+    Rng deploy_rng(HashCombine64(options_.seed, 0x5741'4c4bULL));
+    vertex_id_t num_v = graph_.num_vertices();
+    KK_CHECK(num_v > 0);
+    for (walker_id_t i = 0; i < walker_spec.num_walkers; ++i) {
+      WalkerT w;
+      w.id = i;
+      w.step = 0;
+      w.prev = kInvalidVertex;
+      w.cur = walker_spec.start_vertex ? walker_spec.start_vertex(i, deploy_rng)
+                                       : static_cast<vertex_id_t>(i % num_v);
+      KK_CHECK(w.cur < num_v);
+      w.rng.Seed(HashCombine64(options_.seed, i + 1));
+      if (walker_spec.init_state) {
+        walker_spec.init_state(w);
+      }
+      RunWalker(w);
+    }
+    return stats_;
+  }
+
+  const SamplingStats& stats() const { return stats_; }
+
+  std::vector<std::vector<vertex_id_t>> TakePaths() { return std::move(paths_); }
+
+ private:
+  bool ArrivalTerminates(WalkerT& w) {
+    if (walker_spec_->max_steps != 0 && w.step >= walker_spec_->max_steps) {
+      return true;
+    }
+    if (walker_spec_->terminate_prob > 0.0 &&
+        w.rng.NextBernoulli(walker_spec_->terminate_prob)) {
+      return true;
+    }
+    if (walker_spec_->terminate_if && walker_spec_->terminate_if(w)) {
+      return true;
+    }
+    return false;
+  }
+
+  real_t PsOf(vertex_id_t v, const AdjT& edge) const {
+    return transition_->static_comp ? transition_->static_comp(v, edge)
+                                    : StaticWeight(edge.data);
+  }
+
+  // Pre-computes the two-phase static structures: a flat per-edge CDF in CSR
+  // order plus, per vertex, the cumulative weight per destination node.
+  void BuildStaticStructures() {
+    vertex_id_t n = graph_.num_vertices();
+    edge_cdf_.resize(graph_.num_edges());
+    node_cdf_.assign(static_cast<size_t>(n) * options_.num_nodes, 0.0);
+    edge_begin_.assign(static_cast<size_t>(n) + 1, 0);
+    edge_index_t pos = 0;
+    for (vertex_id_t v = 0; v < n; ++v) {
+      edge_begin_[v] = pos;
+      auto neighbors = graph_.Neighbors(v);
+      double sum = 0.0;
+      double* per_node = node_cdf_.data() + static_cast<size_t>(v) * options_.num_nodes;
+      for (const auto& adj : neighbors) {
+        sum += static_cast<double>(PsOf(v, adj));
+        edge_cdf_[pos++] = sum;
+        per_node[partition_.OwnerOf(adj.neighbor)] += static_cast<double>(PsOf(v, adj));
+      }
+      for (node_rank_t k = 1; k < options_.num_nodes; ++k) {
+        per_node[k] += per_node[k - 1];
+      }
+    }
+    edge_begin_[n] = pos;
+  }
+
+  // Static two-phase draw: node via per-node CDF, then edge via range ITS
+  // over that node's contiguous slice of the (neighbor-sorted) adjacency.
+  std::optional<vertex_id_t> SampleStatic(WalkerT& w) {
+    vertex_id_t v = w.cur;
+    vertex_id_t degree = graph_.OutDegree(v);
+    if (degree == 0) {
+      return std::nullopt;
+    }
+    const double* per_node = node_cdf_.data() + static_cast<size_t>(v) * options_.num_nodes;
+    double total = per_node[options_.num_nodes - 1];
+    if (total <= 0.0) {
+      return std::nullopt;
+    }
+    // Phase 1: destination node.
+    double r1 = w.rng.NextDouble(total);
+    const double* node_it = std::upper_bound(per_node, per_node + options_.num_nodes, r1);
+    if (node_it == per_node + options_.num_nodes) {
+      --node_it;
+    }
+    auto node = static_cast<node_rank_t>(node_it - per_node);
+    // Phase 2: edge within that node's slice. Neighbors are sorted by id and
+    // partitions are contiguous, so the slice is a contiguous CDF range.
+    auto neighbors = graph_.Neighbors(v);
+    auto lo_it = std::lower_bound(neighbors.begin(), neighbors.end(), partition_.Begin(node),
+                                  [](const AdjT& a, vertex_id_t x) { return a.neighbor < x; });
+    auto hi_it = std::lower_bound(neighbors.begin(), neighbors.end(), partition_.End(node),
+                                  [](const AdjT& a, vertex_id_t x) { return a.neighbor < x; });
+    size_t lo = static_cast<size_t>(lo_it - neighbors.begin());
+    size_t hi = static_cast<size_t>(hi_it - neighbors.begin());
+    KK_CHECK(hi > lo);
+    const double* cdf = edge_cdf_.data() + edge_begin_[v];
+    double base = lo > 0 ? cdf[lo - 1] : 0.0;
+    double width = cdf[hi - 1] - base;
+    KK_CHECK(width > 0.0);
+    double r2 = base + w.rng.NextDouble(width);
+    const double* it = std::upper_bound(cdf + lo, cdf + hi, r2);
+    if (it == cdf + hi) {
+      --it;
+    }
+    return static_cast<vertex_id_t>(it - cdf);
+  }
+
+  // Dynamic full scan: recompute Ps * Pd for every out-edge, then one ITS
+  // draw. This is the O(|Ev|) cost rejection sampling eliminates.
+  std::optional<vertex_id_t> SampleDynamic(WalkerT& w) {
+    vertex_id_t v = w.cur;
+    auto neighbors = graph_.Neighbors(v);
+    if (neighbors.empty()) {
+      return std::nullopt;
+    }
+    scan_cdf_.resize(neighbors.size());
+    stats_.scan_computations += neighbors.size();
+    double sum = 0.0;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const AdjT& e = neighbors[i];
+      std::optional<QueryResponse> response;
+      if (transition_->post_query) {
+        std::optional<vertex_id_t> target = transition_->post_query(w, v, e);
+        if (target.has_value()) {
+          // Direct-access stand-in for Gemini's request/response round trip.
+          response = transition_->respond_query(graph_, *target, e.neighbor);
+        }
+      }
+      real_t pd = transition_->dynamic_comp(w, v, e, response);
+      sum += static_cast<double>(PsOf(v, e)) * static_cast<double>(pd);
+      scan_cdf_[i] = sum;
+    }
+    if (sum <= 0.0) {
+      return std::nullopt;
+    }
+    double r = w.rng.NextDouble(sum);
+    auto it = std::upper_bound(scan_cdf_.begin(), scan_cdf_.end(), r);
+    if (it == scan_cdf_.end()) {
+      --it;
+    }
+    return static_cast<vertex_id_t>(it - scan_cdf_.begin());
+  }
+
+  void RunWalker(WalkerT w) {
+    std::vector<vertex_id_t> path;
+    if (options_.collect_paths) {
+      path.push_back(w.cur);
+    }
+    while (!ArrivalTerminates(w)) {
+      std::optional<vertex_id_t> choice =
+          dynamic_ ? SampleDynamic(w) : SampleStatic(w);
+      if (!choice.has_value()) {
+        break;
+      }
+      const AdjT& edge = graph_.Neighbors(w.cur)[*choice];
+      vertex_id_t from = w.cur;
+      w.prev = w.cur;
+      w.cur = edge.neighbor;
+      w.step += 1;
+      if (transition_->on_move) {
+        transition_->on_move(w, from, edge);
+      }
+      stats_.steps += 1;
+      if (options_.collect_paths) {
+        path.push_back(w.cur);
+      }
+    }
+    if (options_.collect_paths) {
+      paths_.push_back(std::move(path));
+    }
+  }
+
+  Csr<EdgeData> graph_;
+  FullScanEngineOptions options_;
+  Partition partition_;
+  const TransitionT* transition_ = nullptr;
+  const WalkerSpecT* walker_spec_ = nullptr;
+  bool dynamic_ = false;
+  SamplingStats stats_;
+  std::vector<std::vector<vertex_id_t>> paths_;
+  // Static two-phase structures.
+  std::vector<double> edge_cdf_;
+  std::vector<double> node_cdf_;
+  std::vector<edge_index_t> edge_begin_;
+  // Per-step scratch for dynamic scans.
+  std::vector<double> scan_cdf_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_BASELINE_FULL_SCAN_ENGINE_H_

@@ -1,0 +1,185 @@
+#include "src/embedding/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace knightking {
+
+namespace {
+constexpr uint64_t kEmbeddingMagic = 0x4b4b454d42ULL;  // "KKEMB"
+
+inline float Sigmoid(float x) {
+  // Clamp to keep exp() in range; gradients saturate out there anyway.
+  x = std::clamp(x, -8.0f, 8.0f);
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+SkipGramModel::SkipGramModel(vertex_id_t vocab_size, SkipGramParams params)
+    : vocab_size_(vocab_size),
+      params_(params),
+      rng_(HashCombine64(params.seed, 0x534b4950ULL)) {
+  KK_CHECK(vocab_size_ > 0 && params_.dimensions > 0);
+  InitWeights();
+}
+
+void SkipGramModel::InitWeights() {
+  size_t total = static_cast<size_t>(vocab_size_) * params_.dimensions;
+  input_.resize(total);
+  output_.assign(total, 0.0f);
+  gradient_.assign(params_.dimensions, 0.0f);
+  float scale = 0.5f / static_cast<float>(params_.dimensions);
+  for (auto& w : input_) {
+    w = (rng_.NextFloat() - 0.5f) * 2.0f * scale;
+  }
+}
+
+void SkipGramModel::BuildNoiseTable(std::span<const std::vector<vertex_id_t>> corpus) {
+  std::vector<double> counts(vocab_size_, 0.0);
+  for (const auto& walk : corpus) {
+    for (vertex_id_t v : walk) {
+      KK_CHECK(v < vocab_size_);
+      counts[v] += 1.0;
+    }
+  }
+  std::vector<real_t> distorted(vocab_size_);
+  for (vertex_id_t v = 0; v < vocab_size_; ++v) {
+    distorted[v] = static_cast<real_t>(std::pow(counts[v], params_.noise_power));
+  }
+  noise_.Build(distorted);
+}
+
+void SkipGramModel::UpdatePair(vertex_id_t center, vertex_id_t target, bool positive,
+                               double lr) {
+  float* in = input_.data() + static_cast<size_t>(center) * params_.dimensions;
+  float* out = output_.data() + static_cast<size_t>(target) * params_.dimensions;
+  float dot = 0.0f;
+  for (size_t d = 0; d < params_.dimensions; ++d) {
+    dot += in[d] * out[d];
+  }
+  float label = positive ? 1.0f : 0.0f;
+  float grad = static_cast<float>(lr) * (label - Sigmoid(dot));
+  for (size_t d = 0; d < params_.dimensions; ++d) {
+    gradient_[d] += grad * out[d];
+    out[d] += grad * in[d];
+  }
+}
+
+void SkipGramModel::Train(std::span<const std::vector<vertex_id_t>> corpus) {
+  BuildNoiseTable(corpus);
+  if (noise_.total_weight() <= 0.0) {
+    return;  // empty corpus
+  }
+  uint64_t total_centers = 0;
+  for (const auto& walk : corpus) {
+    total_centers += walk.size();
+  }
+  uint64_t planned = total_centers * params_.epochs;
+  uint64_t processed = 0;
+
+  for (uint32_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (const auto& walk : corpus) {
+      for (size_t i = 0; i < walk.size(); ++i, ++processed) {
+        double progress = static_cast<double>(processed) / static_cast<double>(planned);
+        double lr = std::max(params_.min_learning_rate,
+                             params_.learning_rate * (1.0 - progress));
+        // Randomly shrunk window, as in word2vec.
+        uint32_t window = 1 + rng_.NextUInt32(params_.window);
+        size_t begin = i >= window ? i - window : 0;
+        size_t end = std::min(walk.size(), i + window + 1);
+        vertex_id_t center = walk[i];
+        for (size_t j = begin; j < end; ++j) {
+          if (j == i) {
+            continue;
+          }
+          std::fill(gradient_.begin(), gradient_.end(), 0.0f);
+          UpdatePair(center, walk[j], /*positive=*/true, lr);
+          for (uint32_t neg = 0; neg < params_.negatives; ++neg) {
+            auto sample = static_cast<vertex_id_t>(noise_.Sample(rng_));
+            if (sample == walk[j]) {
+              continue;
+            }
+            UpdatePair(center, sample, /*positive=*/false, lr);
+          }
+          float* in = input_.data() + static_cast<size_t>(center) * params_.dimensions;
+          for (size_t d = 0; d < params_.dimensions; ++d) {
+            in[d] += gradient_[d];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::span<const float> SkipGramModel::Embedding(vertex_id_t v) const {
+  KK_CHECK(v < vocab_size_);
+  return {input_.data() + static_cast<size_t>(v) * params_.dimensions, params_.dimensions};
+}
+
+double SkipGramModel::Cosine(vertex_id_t a, vertex_id_t b) const {
+  auto ea = Embedding(a);
+  auto eb = Embedding(b);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t d = 0; d < ea.size(); ++d) {
+    dot += static_cast<double>(ea[d]) * eb[d];
+    na += static_cast<double>(ea[d]) * ea[d];
+    nb += static_cast<double>(eb[d]) * eb[d];
+  }
+  if (na <= 0.0 || nb <= 0.0) {
+    return 0.0;
+  }
+  return dot / std::sqrt(na * nb);
+}
+
+std::vector<std::pair<double, vertex_id_t>> SkipGramModel::MostSimilar(vertex_id_t v,
+                                                                       size_t k) const {
+  std::vector<std::pair<double, vertex_id_t>> scored;
+  scored.reserve(vocab_size_);
+  for (vertex_id_t u = 0; u < vocab_size_; ++u) {
+    if (u != v) {
+      scored.emplace_back(Cosine(v, u), u);
+    }
+  }
+  size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  scored.resize(top);
+  return scored;
+}
+
+bool SkipGramModel::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[3] = {kEmbeddingMagic, vocab_size_, params_.dimensions};
+  bool ok = std::fwrite(header, sizeof(header), 1, f) == 1 &&
+            std::fwrite(input_.data(), sizeof(float), input_.size(), f) == input_.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+bool SkipGramModel::Load(const std::string& path, SkipGramModel* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[3] = {};
+  bool ok = std::fread(header, sizeof(header), 1, f) == 1 && header[0] == kEmbeddingMagic &&
+            header[1] > 0 && header[2] > 0;
+  if (ok) {
+    SkipGramParams params;
+    params.dimensions = header[2];
+    *out = SkipGramModel(static_cast<vertex_id_t>(header[1]), params);
+    ok = std::fread(out->input_.data(), sizeof(float), out->input_.size(), f) ==
+         out->input_.size();
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace knightking

@@ -1,0 +1,80 @@
+// SkipGram with negative sampling (SGNS) over walk corpora.
+//
+// DeepWalk and node2vec (§2.2) treat each walk sequence as a sentence and
+// each vertex as a word, then learn latent vertex representations with the
+// SkipGram language model (Mikolov et al.). KnightKing produces the walks;
+// this module is the downstream consumer that completes the paper's
+// motivating pipeline (the part the Spark implementation spends 1.2% of its
+// time on, per §1).
+//
+// Implementation: standard SGNS — for each (center, context) pair within a
+// randomly shrunk window, one positive update plus `negatives` samples
+// drawn from the unigram^(3/4) noise distribution via an alias table
+// (reusing the engine's sampler substrate).
+#ifndef SRC_EMBEDDING_SKIPGRAM_H_
+#define SRC_EMBEDDING_SKIPGRAM_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sampling/alias_table.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct SkipGramParams {
+  size_t dimensions = 64;
+  uint32_t window = 5;        // maximum one-sided context window
+  uint32_t negatives = 5;     // negative samples per positive pair
+  double learning_rate = 0.025;
+  double min_learning_rate = 1e-4;
+  uint32_t epochs = 1;
+  double noise_power = 0.75;  // unigram distortion for negative sampling
+  uint64_t seed = 1;
+};
+
+class SkipGramModel {
+ public:
+  SkipGramModel(vertex_id_t vocab_size, SkipGramParams params);
+
+  // Trains over the corpus (walk sequences). Can be called repeatedly; the
+  // learning rate decays linearly over the planned pair count per call.
+  void Train(std::span<const std::vector<vertex_id_t>> corpus);
+
+  vertex_id_t vocab_size() const { return vocab_size_; }
+  size_t dimensions() const { return params_.dimensions; }
+
+  // The learned input embedding of vertex v.
+  std::span<const float> Embedding(vertex_id_t v) const;
+
+  // Cosine similarity between two vertex embeddings.
+  double Cosine(vertex_id_t a, vertex_id_t b) const;
+
+  // Top-k most similar vertices to v (by cosine), excluding v itself.
+  std::vector<std::pair<double, vertex_id_t>> MostSimilar(vertex_id_t v, size_t k) const;
+
+  // Persists/loads embeddings (binary: magic, vocab, dims, float matrix).
+  bool Save(const std::string& path) const;
+  static bool Load(const std::string& path, SkipGramModel* out);
+
+ private:
+  void InitWeights();
+  void BuildNoiseTable(std::span<const std::vector<vertex_id_t>> corpus);
+  // One SGD step on (center, target, label); returns gradient scratch via
+  // member buffer.
+  void UpdatePair(vertex_id_t center, vertex_id_t target, bool positive, double lr);
+
+  vertex_id_t vocab_size_;
+  SkipGramParams params_;
+  std::vector<float> input_;    // vocab x dims ("in" vectors, the embeddings)
+  std::vector<float> output_;   // vocab x dims ("out" vectors)
+  std::vector<float> gradient_;  // dims scratch
+  AliasTable noise_;
+  Rng rng_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_EMBEDDING_SKIPGRAM_H_

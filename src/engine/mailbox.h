@@ -1,0 +1,104 @@
+// Simulated-cluster message transport.
+//
+// The paper runs on an MPI cluster with batched all-to-all message passing
+// (§6.2). This reproduction executes the same message flows between N
+// *logical* nodes inside one process: each (src, dst) pair has a buffer,
+// senders append batches, and Exchange() delivers everything at a BSP
+// barrier. Message and byte counters make communication volume observable
+// (used by the Figure 7 scalability analysis). See DESIGN.md §3.
+#ifndef SRC_ENGINE_MAILBOX_H_
+#define SRC_ENGINE_MAILBOX_H_
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+template <typename MessageT>
+class Mailbox {
+ public:
+  explicit Mailbox(node_rank_t num_nodes)
+      : num_nodes_(num_nodes),
+        outgoing_(static_cast<size_t>(num_nodes) * num_nodes),
+        incoming_(num_nodes),
+        locks_(static_cast<size_t>(num_nodes) * num_nodes) {}
+
+  node_rank_t num_nodes() const { return num_nodes_; }
+
+  // Appends a batch from src to dst. Thread-safe per (src, dst) channel.
+  void Post(node_rank_t src, node_rank_t dst, std::vector<MessageT>&& batch) {
+    if (batch.empty()) {
+      return;
+    }
+    size_t ch = Channel(src, dst);
+    std::lock_guard<std::mutex> lock(locks_[ch].m);
+    auto& buf = outgoing_[ch];
+    buf.insert(buf.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+
+  void Post(node_rank_t src, node_rank_t dst, const MessageT& msg) {
+    size_t ch = Channel(src, dst);
+    std::lock_guard<std::mutex> lock(locks_[ch].m);
+    outgoing_[ch].push_back(msg);
+  }
+
+  // BSP barrier: moves every posted batch into the destination inboxes.
+  // Must be called from the driver with no concurrent Post() in flight.
+  void Exchange() {
+    for (node_rank_t dst = 0; dst < num_nodes_; ++dst) {
+      auto& inbox = incoming_[dst];
+      inbox.clear();
+      for (node_rank_t src = 0; src < num_nodes_; ++src) {
+        auto& buf = outgoing_[Channel(src, dst)];
+        if (buf.empty()) {
+          continue;
+        }
+        if (src != dst) {
+          cross_node_messages_ += buf.size();
+          cross_node_bytes_ += buf.size() * sizeof(MessageT);
+        }
+        inbox.insert(inbox.end(), std::make_move_iterator(buf.begin()),
+                     std::make_move_iterator(buf.end()));
+        buf.clear();
+      }
+    }
+  }
+
+  // The inbox delivered by the last Exchange(), owned by node `dst`.
+  std::vector<MessageT>& Inbox(node_rank_t dst) { return incoming_[dst]; }
+
+  // Messages/bytes that crossed a node boundary (src != dst) so far.
+  uint64_t cross_node_messages() const { return cross_node_messages_; }
+  uint64_t cross_node_bytes() const { return cross_node_bytes_; }
+
+  void ResetCounters() {
+    cross_node_messages_ = 0;
+    cross_node_bytes_ = 0;
+  }
+
+ private:
+  struct ChannelLock {
+    std::mutex m;
+  };
+
+  size_t Channel(node_rank_t src, node_rank_t dst) const {
+    KK_DCHECK(src < num_nodes_ && dst < num_nodes_);
+    return static_cast<size_t>(src) * num_nodes_ + dst;
+  }
+
+  node_rank_t num_nodes_;
+  std::vector<std::vector<MessageT>> outgoing_;
+  std::vector<std::vector<MessageT>> incoming_;
+  std::vector<ChannelLock> locks_;
+  uint64_t cross_node_messages_ = 0;
+  uint64_t cross_node_bytes_ = 0;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_ENGINE_MAILBOX_H_

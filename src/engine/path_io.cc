@@ -1,0 +1,92 @@
+#include "src/engine/path_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace knightking {
+
+namespace {
+constexpr uint64_t kPathsMagic = 0x4b4b50415448ULL;  // "KKPATH"
+}  // namespace
+
+bool WritePathsText(std::span<const std::vector<vertex_id_t>> paths, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (const auto& walk : paths) {
+    for (size_t i = 0; i < walk.size(); ++i) {
+      std::fprintf(f, i == 0 ? "%u" : " %u", walk[i]);
+    }
+    std::fputc('\n', f);
+  }
+  return std::fclose(f) == 0;
+}
+
+bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[2] = {kPathsMagic, paths.size()};
+  bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+  for (const auto& walk : paths) {
+    if (!ok) {
+      break;
+    }
+    uint64_t len = walk.size();
+    ok = std::fwrite(&len, sizeof(len), 1, f) == 1;
+    if (ok && len > 0) {
+      ok = std::fwrite(walk.data(), sizeof(vertex_id_t), walk.size(), f) == walk.size();
+    }
+  }
+  return (std::fclose(f) == 0) && ok;
+}
+
+bool ReadPathsBinary(const std::string& path, std::vector<std::vector<vertex_id_t>>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[2] = {};
+  bool ok = std::fread(header, sizeof(header), 1, f) == 1 && header[0] == kPathsMagic;
+  if (ok) {
+    out->clear();
+    out->reserve(header[1]);
+    for (uint64_t i = 0; ok && i < header[1]; ++i) {
+      uint64_t len = 0;
+      ok = std::fread(&len, sizeof(len), 1, f) == 1;
+      if (!ok) {
+        break;
+      }
+      std::vector<vertex_id_t> walk(len);
+      if (len > 0) {
+        ok = std::fread(walk.data(), sizeof(vertex_id_t), len, f) == len;
+      }
+      out->push_back(std::move(walk));
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+CorpusStats ComputeCorpusStats(std::span<const std::vector<vertex_id_t>> paths) {
+  CorpusStats stats;
+  stats.walks = paths.size();
+  stats.min_length = std::numeric_limits<size_t>::max();
+  for (const auto& walk : paths) {
+    stats.stops += walk.size();
+    stats.min_length = std::min(stats.min_length, walk.size());
+    stats.max_length = std::max(stats.max_length, walk.size());
+  }
+  if (stats.walks == 0) {
+    stats.min_length = 0;
+  } else {
+    stats.mean_length = static_cast<double>(stats.stops) / static_cast<double>(stats.walks);
+  }
+  return stats;
+}
+
+}  // namespace knightking

@@ -1,0 +1,40 @@
+// Walk corpus (trace) persistence.
+//
+// Random-walk pipelines (DeepWalk, node2vec) feed the collected walk
+// sequences into downstream learners; PPR deployments store them for query
+// serving. This module writes/reads walk corpora in a text format (one walk
+// per line, the format SkipGram tooling consumes) and a compact binary
+// format for re-loading.
+#ifndef SRC_ENGINE_PATH_IO_H_
+#define SRC_ENGINE_PATH_IO_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace knightking {
+
+// One walk per line, vertices space-separated.
+bool WritePathsText(std::span<const std::vector<vertex_id_t>> paths, const std::string& path);
+
+// Binary layout: magic, walk count, then per walk a length + vertex array.
+bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
+                      const std::string& path);
+bool ReadPathsBinary(const std::string& path, std::vector<std::vector<vertex_id_t>>* out);
+
+// Aggregate description of a walk corpus.
+struct CorpusStats {
+  uint64_t walks = 0;
+  uint64_t stops = 0;       // total vertices emitted (steps + starts)
+  size_t min_length = 0;    // stops in the shortest walk
+  size_t max_length = 0;    // stops in the longest walk
+  double mean_length = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(std::span<const std::vector<vertex_id_t>> paths);
+
+}  // namespace knightking
+
+#endif  // SRC_ENGINE_PATH_IO_H_

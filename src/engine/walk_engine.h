@@ -1,0 +1,752 @@
+// The KnightKing walk engine (§4, §5, §6).
+//
+// Executes many walkers over a 1-D partitioned CSR graph in BSP supersteps
+// on a simulated cluster of logical nodes. The sampling core is rejection
+// sampling under a per-vertex envelope Q(v): each trial draws a candidate
+// edge from the static component Ps (alias / ITS / uniform) and a height
+// y ~ U[0, Q(v)), then accepts iff y < Pd(candidate). Optimizations
+// implemented exactly as in the paper:
+//
+//   * lower-bound pre-acceptance: y < L(v) accepts without computing Pd,
+//   * outlier folding: declared Pd outliers above Q(v) become appendix
+//     blocks beside the dartboard,
+//   * two-round walker-to-vertex state queries for second-order walks,
+//   * straggler-aware light mode: a node whose active walker count drops
+//     below a threshold abandons its worker pool and runs inline.
+//
+// First-order and static walks run in lockstep mode: every active walker
+// completes one step per iteration (retrying trials locally until success).
+// Second-order walks run one trial per walker per iteration; rejected
+// walkers stay put and retry next iteration, producing the long-tail
+// behaviour of Figure 5.
+#ifndef SRC_ENGINE_WALK_ENGINE_H_
+#define SRC_ENGINE_WALK_ENGINE_H_
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/engine/mailbox.h"
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/graph/csr.h"
+#include "src/graph/partition.h"
+#include "src/sampling/static_sampler.h"
+#include "src/sampling/stats.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// One recorded walk position; paths are reassembled from these after a run.
+struct PathEntry {
+  walker_id_t walker = 0;
+  step_t step = 0;
+  vertex_id_t vertex = 0;
+};
+
+struct WalkEngineOptions {
+  // Logical cluster size (the paper's "nodes").
+  node_rank_t num_nodes = 1;
+  // Worker threads per node in full mode; 0 runs everything inline.
+  size_t workers_per_node = 0;
+  // Straggler-aware scheduling (§6.2): below the threshold a node stops
+  // using its worker pool.
+  bool enable_light_mode = false;
+  uint64_t light_mode_threshold = 4000;
+  // Static (Ps) candidate sampler strategy.
+  StaticSamplerKind sampler_kind = StaticSamplerKind::kAuto;
+  // Master seed; every walker derives its own deterministic stream.
+  uint64_t seed = 1;
+  // Record every walker position (costs memory; excluded from timing in the
+  // paper, so benchmarks leave it off).
+  bool collect_paths = false;
+  // Lockstep mode: failed trials per walker per iteration before the engine
+  // falls back to one exact full scan (still exact sampling; guards
+  // distributions with very low acceptance such as Meta-path dead ends).
+  uint32_t max_trials_per_step = 64;
+  // Dynamic-scheduling granularity: walkers / messages per task chunk
+  // (§6.2 sets 128 for both).
+  size_t chunk_size = kDefaultChunkSize;
+  // Run each phase's per-node work on one thread per logical node, as a
+  // real cluster would execute concurrently. Results are identical either
+  // way (walkers carry their own RNG); default off — on few-core machines
+  // the sequential driver is faster and timing-stable.
+  bool parallel_nodes = false;
+  // Ablation switch: route ALL walker-to-vertex queries through the message
+  // rounds, even when the queried vertex lives on the walker's own node.
+  // Disables the local-answer fast path; sampling results are unchanged.
+  bool force_remote_queries = false;
+};
+
+// Wall-clock breakdown of the last Run, accumulated per phase by the
+// driver. With parallel_nodes the per-phase figure is the barrier-to-
+// barrier wall time across all nodes.
+struct EnginePhaseTimes {
+  double sample = 0.0;    // phase A: trials + lockstep walking
+  double respond = 0.0;   // phase B: answering walker-to-vertex queries
+  double resolve = 0.0;   // phase C: resolving parked trials
+  double exchange = 0.0;  // mailbox barriers (walker moves + queries)
+};
+
+// Iterations without any walker progress before the engine declares the walk
+// wedged (see Run()).
+inline constexpr uint64_t kMaxStalledIterations = 100000;
+
+template <typename EdgeData, typename WalkerState = EmptyWalkerState,
+          typename QueryResponse = uint8_t>
+class WalkEngine {
+ public:
+  using WalkerT = Walker<WalkerState>;
+  using AdjT = AdjUnit<EdgeData>;
+  using TransitionT = TransitionSpec<EdgeData, WalkerState, QueryResponse>;
+  using WalkerSpecT = WalkerSpec<WalkerState>;
+
+  WalkEngine(Csr<EdgeData> graph, WalkEngineOptions options)
+      : graph_(std::move(graph)), options_(options) {
+    KK_CHECK(options_.num_nodes > 0);
+    std::vector<vertex_id_t> degrees(graph_.num_vertices());
+    for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+      degrees[v] = graph_.OutDegree(v);
+    }
+    partition_ = Partition::FromDegrees(degrees, options_.num_nodes);
+    nodes_.resize(options_.num_nodes);
+    for (auto& node : nodes_) {
+      node = std::make_unique<NodeState>();
+      if (options_.workers_per_node > 0) {
+        node->pool = std::make_unique<ThreadPool>(options_.workers_per_node);
+      }
+    }
+  }
+
+  const Csr<EdgeData>& graph() const { return graph_; }
+  const Partition& partition() const { return partition_; }
+  const WalkEngineOptions& options() const { return options_; }
+
+  // Reseeds subsequent Runs (multi-round deployments: §1's "repeated for
+  // multiple rounds" run R rounds with distinct seeds over one engine).
+  void set_seed(uint64_t seed) { options_.seed = seed; }
+
+  // Executes the walk to completion and returns aggregate sampling stats.
+  SamplingStats Run(const TransitionT& transition, const WalkerSpecT& walker_spec) {
+    transition_ = &transition;
+    walker_spec_ = &walker_spec;
+    num_walkers_ = walker_spec.num_walkers;
+    KK_CHECK(!transition.IsDynamic() || transition.dynamic_upper_bound);
+    KK_CHECK(!transition.IsSecondOrder() || transition.respond_query);
+    second_order_ = transition.IsSecondOrder();
+    dynamic_ = transition.IsDynamic();
+
+    phase_times_ = EnginePhaseTimes{};
+    Prepare();
+    DeployWalkers();
+
+    active_history_.clear();
+    walker_mail_ = std::make_unique<Mailbox<WalkerT>>(options_.num_nodes);
+    query_mail_ = std::make_unique<Mailbox<QueryMsg>>(options_.num_nodes);
+    response_mail_ = std::make_unique<Mailbox<ResponseMsg>>(options_.num_nodes);
+
+    uint64_t iterations = 0;
+    uint64_t last_progress_steps = 0;
+    uint64_t stalled_iterations = 0;
+    for (;;) {
+      uint64_t active_total = 0;
+      uint64_t steps_total = 0;
+      for (auto& node : nodes_) {
+        active_total += node->active.size();
+        steps_total += node->stats.steps;
+      }
+      if (active_total == 0) {
+        break;
+      }
+      // Safety net: a second-order walk whose pending walkers all face
+      // zero-probability candidates would otherwise spin forever. Exact
+      // algorithms with Pd bounded away from zero never trip this.
+      if (steps_total == last_progress_steps) {
+        KK_CHECK(++stalled_iterations < kMaxStalledIterations);
+      } else {
+        stalled_iterations = 0;
+        last_progress_steps = steps_total;
+      }
+      active_history_.push_back(active_total);
+      ++iterations;
+      RunIteration();
+    }
+
+    SamplingStats aggregate;
+    for (auto& node : nodes_) {
+      aggregate.Merge(node->stats);
+    }
+    aggregate.iterations = iterations;
+    last_stats_ = aggregate;
+    // The spec references are only valid during Run (callers may pass
+    // temporaries); clear them so later accessors cannot dangle.
+    transition_ = nullptr;
+    walker_spec_ = nullptr;
+    return aggregate;
+  }
+
+  // Active walkers at the start of each iteration of the last Run (Fig. 5).
+  const std::vector<uint64_t>& active_history() const { return active_history_; }
+
+  // Per-phase wall-clock breakdown of the last Run.
+  const EnginePhaseTimes& phase_times() const { return phase_times_; }
+
+  // Communication volume of the last Run.
+  uint64_t cross_node_messages() const {
+    return walker_mail_->cross_node_messages() + query_mail_->cross_node_messages() +
+           response_mail_->cross_node_messages();
+  }
+  uint64_t cross_node_bytes() const {
+    return walker_mail_->cross_node_bytes() + query_mail_->cross_node_bytes() +
+           response_mail_->cross_node_bytes();
+  }
+
+  const SamplingStats& last_stats() const { return last_stats_; }
+
+  // Reassembles walk sequences from the recorded path log (requires
+  // options.collect_paths). Paths are indexed by walker id.
+  std::vector<std::vector<vertex_id_t>> TakePaths() {
+    std::vector<PathEntry> all;
+    for (auto& node : nodes_) {
+      all.insert(all.end(), node->path_log.begin(), node->path_log.end());
+      node->path_log.clear();
+    }
+    std::sort(all.begin(), all.end(), [](const PathEntry& a, const PathEntry& b) {
+      return a.walker != b.walker ? a.walker < b.walker : a.step < b.step;
+    });
+    std::vector<std::vector<vertex_id_t>> paths(num_walkers_);
+    for (const auto& entry : all) {
+      KK_CHECK(entry.walker < paths.size());
+      KK_CHECK(paths[entry.walker].size() == entry.step);  // contiguous steps
+      paths[entry.walker].push_back(entry.vertex);
+    }
+    return paths;
+  }
+
+ private:
+  struct QueryMsg {
+    vertex_id_t target = 0;   // vertex whose owner answers
+    vertex_id_t subject = 0;  // candidate destination being asked about
+    node_rank_t origin = 0;   // node holding the pending trial
+    uint32_t slot = 0;        // index into the origin's pending array
+  };
+
+  struct ResponseMsg {
+    uint32_t slot = 0;
+    QueryResponse payload{};
+  };
+
+  // A second-order trial parked while its state query is in flight.
+  struct PendingTrial {
+    WalkerT walker;
+    vertex_id_t candidate = 0;  // local edge index at walker.cur
+    real_t y = 0.0f;            // dart height, compared against Pd
+    QueryResponse response{};
+    bool responded = false;
+  };
+
+  struct NodeState {
+    std::vector<WalkerT> active;
+    std::vector<WalkerT> next_active;
+    std::vector<PendingTrial> pending;
+    std::vector<PathEntry> path_log;
+    SamplingStats stats;
+    std::unique_ptr<ThreadPool> pool;
+    std::mutex merge_mutex;
+  };
+
+  // Per-chunk scratch: merged into node/mailbox state at chunk end so the
+  // hot loop takes no locks.
+  struct Scratch {
+    std::vector<std::vector<WalkerT>> moves;  // per destination node
+    std::vector<WalkerT> stay;
+    std::vector<PendingTrial> pending;
+    std::vector<QueryMsg> queries;  // slot filled at merge time
+    std::vector<PathEntry> paths;
+    SamplingStats stats;
+
+    explicit Scratch(node_rank_t num_nodes) : moves(num_nodes) {}
+  };
+
+  enum class TrialOutcome { kAccept, kReject, kNeedQuery, kNoEdges };
+
+  struct TrialResult {
+    TrialOutcome outcome = TrialOutcome::kReject;
+    vertex_id_t candidate = 0;
+    real_t y = 0.0f;
+    vertex_id_t query_target = 0;
+  };
+
+  real_t PsOf(vertex_id_t v, const AdjT& edge) const {
+    return transition_->static_comp ? transition_->static_comp(v, edge)
+                                    : StaticWeight(edge.data);
+  }
+
+  // Precomputes the static sampler and per-vertex envelope arrays.
+  void Prepare() {
+    sampler_.Build(graph_, options_.sampler_kind, transition_->static_comp);
+    upper_.clear();
+    lower_.clear();
+    if (dynamic_) {
+      upper_.resize(graph_.num_vertices());
+      for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+        upper_[v] = transition_->dynamic_upper_bound(v, graph_.OutDegree(v));
+      }
+      if (transition_->dynamic_lower_bound) {
+        lower_.resize(graph_.num_vertices());
+        for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
+          lower_[v] = transition_->dynamic_lower_bound(v, graph_.OutDegree(v));
+        }
+      }
+    }
+    for (auto& node : nodes_) {
+      node->active.clear();
+      node->next_active.clear();
+      node->pending.clear();
+      node->path_log.clear();
+      node->stats = SamplingStats{};
+    }
+  }
+
+  void DeployWalkers() {
+    Rng deploy_rng(HashCombine64(options_.seed, 0x5741'4c4bULL));
+    vertex_id_t num_v = graph_.num_vertices();
+    KK_CHECK(num_v > 0);
+    for (walker_id_t i = 0; i < walker_spec_->num_walkers; ++i) {
+      WalkerT w;
+      w.id = i;
+      w.step = 0;
+      w.prev = kInvalidVertex;
+      w.cur = walker_spec_->start_vertex
+                  ? walker_spec_->start_vertex(i, deploy_rng)
+                  : static_cast<vertex_id_t>(i % num_v);
+      KK_CHECK(w.cur < num_v);
+      w.rng.Seed(HashCombine64(options_.seed, i + 1));
+      if (walker_spec_->init_state) {
+        walker_spec_->init_state(w);
+      }
+      NodeState& node = *nodes_[partition_.OwnerOf(w.cur)];
+      if (options_.collect_paths) {
+        node.path_log.push_back({w.id, 0, w.cur});
+      }
+      // Arrival processing for step 0 (termination coin etc.).
+      if (!ArrivalTerminates(w)) {
+        node.active.push_back(std::move(w));
+      }
+    }
+  }
+
+  // Evaluates Pe on arrival: fixed length, per-step stop coin, and custom
+  // exception criteria. Returns true when the walk ends here.
+  bool ArrivalTerminates(WalkerT& w) {
+    if (walker_spec_->max_steps != 0 && w.step >= walker_spec_->max_steps) {
+      return true;
+    }
+    if (walker_spec_->terminate_prob > 0.0 &&
+        w.rng.NextBernoulli(walker_spec_->terminate_prob)) {
+      return true;
+    }
+    if (walker_spec_->terminate_if && walker_spec_->terminate_if(w)) {
+      return true;
+    }
+    return false;
+  }
+
+  ThreadPool* PoolFor(NodeState& node, size_t work_items) {
+    if (node.pool == nullptr) {
+      return nullptr;
+    }
+    if (options_.enable_light_mode && work_items < options_.light_mode_threshold) {
+      return nullptr;  // light mode: run inline, skip pool coordination
+    }
+    return node.pool.get();
+  }
+
+  template <typename Fn>
+  void ParallelOver(NodeState& node, size_t total, const Fn& fn) {
+    ThreadPool* pool = PoolFor(node, total);
+    if (pool == nullptr) {
+      fn(0, total);
+      return;
+    }
+    pool->ParallelFor(total, options_.chunk_size, fn);
+  }
+
+  // One rejection-sampling trial for walker w at w.cur. Counts stats into
+  // `stats` (chunk-local).
+  TrialResult RunTrial(WalkerT& w, SamplingStats& stats) {
+    vertex_id_t v = w.cur;
+    vertex_id_t degree = graph_.OutDegree(v);
+    if (degree == 0) {
+      return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
+    }
+    if (!dynamic_) {
+      // Static walk: Ps-proportional draw, always accepted.
+      if (sampler_.TotalWeight(v) <= 0.0) {
+        return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
+      }
+      stats.trials += 1;
+      return {TrialOutcome::kAccept, sampler_.Sample(v, w.rng), 0.0f, 0};
+    }
+
+    real_t q = upper_[v];
+    double width = sampler_.TotalWeight(v);
+    if (q <= 0.0f || width <= 0.0) {
+      return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
+    }
+    double board = static_cast<double>(q) * width;
+
+    // Outlier appendix blocks (Figure 3b).
+    double appendix_block = 0.0;
+    uint32_t outlier_count = 0;
+    if (transition_->outlier_bound) {
+      OutlierBound ob = transition_->outlier_bound(w, v);
+      if (ob.count > 0 && ob.height > q) {
+        outlier_count = ob.count;
+        appendix_block = static_cast<double>(ob.height - q) *
+                         static_cast<double>(sampler_.MaxWeight(v));
+      }
+    }
+
+    stats.trials += 1;
+    double x = w.rng.NextDouble(board + appendix_block * outlier_count);
+    if (x >= board) {
+      // Dart landed in an appendix: locate the outlier and correct.
+      stats.outlier_hits += 1;
+      auto k = static_cast<uint32_t>((x - board) / appendix_block);
+      k = std::min(k, outlier_count - 1);
+      std::optional<vertex_id_t> idx = transition_->outlier_locate(w, v, k);
+      if (!idx.has_value()) {
+        return {TrialOutcome::kReject, 0, 0.0f, 0};
+      }
+      const AdjT& edge = graph_.Neighbors(v)[*idx];
+      stats.pd_computations += 1;
+      real_t pd = transition_->dynamic_comp(w, v, edge, std::nullopt);
+      double chopped =
+          std::max(0.0, static_cast<double>(pd) - static_cast<double>(q)) *
+          static_cast<double>(PsOf(v, edge));
+      if (w.rng.NextDouble(appendix_block) < chopped) {
+        return {TrialOutcome::kAccept, *idx, 0.0f, 0};
+      }
+      return {TrialOutcome::kReject, 0, 0.0f, 0};
+    }
+
+    vertex_id_t candidate = sampler_.Sample(v, w.rng);
+    real_t y = static_cast<real_t>(w.rng.NextDouble(q));
+    if (!lower_.empty() && y < lower_[v]) {
+      stats.pre_accepts += 1;
+      return {TrialOutcome::kAccept, candidate, y, 0};
+    }
+    const AdjT& edge = graph_.Neighbors(v)[candidate];
+    if (second_order_) {
+      std::optional<vertex_id_t> target = transition_->post_query(w, v, edge);
+      if (target.has_value()) {
+        return {TrialOutcome::kNeedQuery, candidate, y, *target};
+      }
+    }
+    stats.pd_computations += 1;
+    real_t pd = transition_->dynamic_comp(w, v, edge, std::nullopt);
+    return {y < pd ? TrialOutcome::kAccept : TrialOutcome::kReject, candidate, y, 0};
+  }
+
+  // Exact fallback after repeated rejections (lockstep mode only): one full
+  // scan computing Ps * Pd for every out-edge, then an inverse-transform
+  // draw. Still exact; returns nullopt when no edge is eligible.
+  std::optional<vertex_id_t> FallbackScan(WalkerT& w, SamplingStats& stats) {
+    vertex_id_t v = w.cur;
+    auto neighbors = graph_.Neighbors(v);
+    stats.fallback_scans += 1;
+    stats.pd_computations += neighbors.size();
+    double total = 0.0;
+    scan_buffer_tl().resize(neighbors.size());
+    auto& buf = scan_buffer_tl();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      real_t pd = transition_->dynamic_comp(w, v, neighbors[i], std::nullopt);
+      total += static_cast<double>(PsOf(v, neighbors[i])) * static_cast<double>(pd);
+      buf[i] = total;
+    }
+    if (total <= 0.0) {
+      return std::nullopt;
+    }
+    double r = w.rng.NextDouble(total);
+    auto it = std::upper_bound(buf.begin(), buf.end(), r);
+    if (it == buf.end()) {
+      --it;
+    }
+    return static_cast<vertex_id_t>(it - buf.begin());
+  }
+
+  static std::vector<double>& scan_buffer_tl() {
+    thread_local std::vector<double> buf;
+    return buf;
+  }
+
+  // Commits a successful trial: advances the walker over edge `candidate`
+  // and routes it (or retires it).
+  void CommitMove(WalkerT& w, vertex_id_t candidate, node_rank_t src_node, Scratch& scratch) {
+    const AdjT& edge = graph_.Neighbors(w.cur)[candidate];
+    vertex_id_t from = w.cur;
+    w.prev = w.cur;
+    w.cur = edge.neighbor;
+    w.step += 1;
+    if (transition_->on_move) {
+      transition_->on_move(w, from, edge);
+    }
+    scratch.stats.steps += 1;
+    if (options_.collect_paths) {
+      scratch.paths.push_back({w.id, w.step, w.cur});
+    }
+    if (ArrivalTerminates(w)) {
+      return;
+    }
+    node_rank_t dst_node = partition_.OwnerOf(w.cur);
+    if (dst_node != src_node) {
+      scratch.stats.walker_moves_remote += 1;
+    }
+    scratch.moves[dst_node].push_back(std::move(w));
+  }
+
+  // Lockstep step: retries trials until acceptance (bounded, then exact
+  // fallback). Every surviving walker advances exactly one step.
+  void LockstepWalk(WalkerT& w, node_rank_t node_rank, Scratch& scratch) {
+    for (uint32_t t = 0; t < options_.max_trials_per_step; ++t) {
+      TrialResult r = RunTrial(w, scratch.stats);
+      switch (r.outcome) {
+        case TrialOutcome::kAccept:
+          CommitMove(w, r.candidate, node_rank, scratch);
+          return;
+        case TrialOutcome::kNoEdges:
+          return;  // walk ends: no eligible out-edge
+        case TrialOutcome::kReject:
+          continue;
+        case TrialOutcome::kNeedQuery:
+          KK_CHECK(false);  // lockstep mode is never second-order
+      }
+    }
+    std::optional<vertex_id_t> exact = FallbackScan(w, scratch.stats);
+    if (exact.has_value()) {
+      CommitMove(w, *exact, node_rank, scratch);
+    }
+  }
+
+  // Second-order step: exactly one trial; local queries are answered
+  // immediately, remote ones park the walker in `pending`.
+  void SecondOrderTrial(WalkerT& w, node_rank_t node_rank, Scratch& scratch) {
+    TrialResult r = RunTrial(w, scratch.stats);
+    switch (r.outcome) {
+      case TrialOutcome::kAccept:
+        CommitMove(w, r.candidate, node_rank, scratch);
+        return;
+      case TrialOutcome::kNoEdges:
+        return;
+      case TrialOutcome::kReject:
+        scratch.stay.push_back(std::move(w));
+        return;
+      case TrialOutcome::kNeedQuery:
+        break;
+    }
+    const AdjT& edge = graph_.Neighbors(w.cur)[r.candidate];
+    vertex_id_t subject = edge.neighbor;
+    if (!options_.force_remote_queries && partition_.OwnerOf(r.query_target) == node_rank) {
+      // Local-answer fast path: the queried vertex lives here.
+      scratch.stats.queries_local += 1;
+      QueryResponse resp = transition_->respond_query(graph_, r.query_target, subject);
+      scratch.stats.pd_computations += 1;
+      real_t pd = transition_->dynamic_comp(w, w.cur, edge, resp);
+      if (r.y < pd) {
+        CommitMove(w, r.candidate, node_rank, scratch);
+      } else {
+        scratch.stay.push_back(std::move(w));
+      }
+      return;
+    }
+    scratch.stats.queries_remote += 1;
+    PendingTrial pending;
+    pending.walker = std::move(w);
+    pending.candidate = r.candidate;
+    pending.y = r.y;
+    scratch.pending.push_back(std::move(pending));
+    scratch.queries.push_back({r.query_target, subject, node_rank, 0});
+  }
+
+  // Merges chunk-local results into node state and mailboxes.
+  void MergeScratch(NodeState& node, node_rank_t node_rank, Scratch& scratch) {
+    {
+      std::lock_guard<std::mutex> lock(node.merge_mutex);
+      node.stats.Merge(scratch.stats);
+      node.next_active.insert(node.next_active.end(),
+                              std::make_move_iterator(scratch.stay.begin()),
+                              std::make_move_iterator(scratch.stay.end()));
+      node.path_log.insert(node.path_log.end(), scratch.paths.begin(), scratch.paths.end());
+      if (!scratch.pending.empty()) {
+        uint32_t base = static_cast<uint32_t>(node.pending.size());
+        KK_CHECK(scratch.pending.size() == scratch.queries.size());
+        for (size_t i = 0; i < scratch.pending.size(); ++i) {
+          scratch.queries[i].slot = base + static_cast<uint32_t>(i);
+          node.pending.push_back(std::move(scratch.pending[i]));
+        }
+      }
+    }
+    for (const QueryMsg& q : scratch.queries) {
+      query_mail_->Post(node_rank, partition_.OwnerOf(q.target), q);
+    }
+    for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
+      walker_mail_->Post(node_rank, dst, std::move(scratch.moves[dst]));
+    }
+  }
+
+  // Runs fn(node_rank) for every logical node, concurrently when
+  // parallel_nodes is set. fn must only touch its own node's state plus the
+  // (internally synchronized) mailboxes.
+  template <typename Fn>
+  void ForEachNode(const Fn& fn) {
+    node_rank_t num_nodes = options_.num_nodes;
+    if (options_.parallel_nodes && num_nodes > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(num_nodes);
+      for (node_rank_t n = 0; n < num_nodes; ++n) {
+        threads.emplace_back([&fn, n] { fn(n); });
+      }
+      for (auto& t : threads) {
+        t.join();
+      }
+    } else {
+      for (node_rank_t n = 0; n < num_nodes; ++n) {
+        fn(n);
+      }
+    }
+  }
+
+  void RunIteration() {
+    node_rank_t num_nodes = options_.num_nodes;
+    Timer phase_timer;
+
+    // Phase A: every active walker performs its sampling work.
+    ForEachNode([&](node_rank_t n) {
+      NodeState& node = *nodes_[n];
+      std::vector<WalkerT> batch = std::move(node.active);
+      node.active.clear();
+      ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
+        Scratch scratch(num_nodes);
+        for (size_t i = begin; i < end; ++i) {
+          if (second_order_) {
+            SecondOrderTrial(batch[i], n, scratch);
+          } else {
+            LockstepWalk(batch[i], n, scratch);
+          }
+        }
+        MergeScratch(node, n, scratch);
+      });
+    });
+    phase_times_.sample += phase_timer.Seconds();
+
+    if (second_order_) {
+      // Phase B: deliver queries; owners answer them.
+      phase_timer.Restart();
+      query_mail_->Exchange();
+      phase_times_.exchange += phase_timer.Seconds();
+      phase_timer.Restart();
+      ForEachNode([&](node_rank_t n) {
+        NodeState& node = *nodes_[n];
+        auto& inbox = query_mail_->Inbox(n);
+        ParallelOver(node, inbox.size(), [&](size_t begin, size_t end) {
+          std::vector<std::pair<node_rank_t, ResponseMsg>> responses;
+          responses.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            const QueryMsg& q = inbox[i];
+            KK_DCHECK(partition_.Owns(n, q.target));
+            QueryResponse payload = transition_->respond_query(graph_, q.target, q.subject);
+            responses.emplace_back(q.origin, ResponseMsg{q.slot, payload});
+          }
+          for (auto& [origin, resp] : responses) {
+            response_mail_->Post(n, origin, resp);
+          }
+        });
+        inbox.clear();
+      });
+      phase_times_.respond += phase_timer.Seconds();
+
+      // Phase C: responses return; parked trials decide.
+      phase_timer.Restart();
+      response_mail_->Exchange();
+      phase_times_.exchange += phase_timer.Seconds();
+      phase_timer.Restart();
+      ForEachNode([&](node_rank_t n) {
+        NodeState& node = *nodes_[n];
+        for (const ResponseMsg& resp : response_mail_->Inbox(n)) {
+          KK_CHECK(resp.slot < node.pending.size());
+          node.pending[resp.slot].response = resp.payload;
+          node.pending[resp.slot].responded = true;
+        }
+        response_mail_->Inbox(n).clear();
+        std::vector<PendingTrial> pending = std::move(node.pending);
+        node.pending.clear();
+        ParallelOver(node, pending.size(), [&](size_t begin, size_t end) {
+          Scratch scratch(num_nodes);
+          for (size_t i = begin; i < end; ++i) {
+            PendingTrial& trial = pending[i];
+            KK_CHECK(trial.responded);
+            WalkerT& w = trial.walker;
+            const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
+            scratch.stats.pd_computations += 1;
+            real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
+            if (trial.y < pd) {
+              CommitMove(w, trial.candidate, n, scratch);
+            } else {
+              scratch.stay.push_back(std::move(w));
+            }
+          }
+          MergeScratch(node, n, scratch);
+        });
+      });
+      phase_times_.resolve += phase_timer.Seconds();
+    }
+
+    // Walker movement: deliver and merge into next iteration's active sets.
+    phase_timer.Restart();
+    walker_mail_->Exchange();
+    for (node_rank_t n = 0; n < num_nodes; ++n) {
+      NodeState& node = *nodes_[n];
+      auto& inbox = walker_mail_->Inbox(n);
+      node.next_active.insert(node.next_active.end(),
+                              std::make_move_iterator(inbox.begin()),
+                              std::make_move_iterator(inbox.end()));
+      inbox.clear();
+      node.active = std::move(node.next_active);
+      node.next_active.clear();
+    }
+    phase_times_.exchange += phase_timer.Seconds();
+  }
+
+  Csr<EdgeData> graph_;
+  WalkEngineOptions options_;
+  Partition partition_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  StaticSamplerSet<EdgeData> sampler_;
+  std::vector<real_t> upper_;
+  std::vector<real_t> lower_;
+  std::vector<uint64_t> active_history_;
+  EnginePhaseTimes phase_times_;
+  std::unique_ptr<Mailbox<WalkerT>> walker_mail_;
+  std::unique_ptr<Mailbox<QueryMsg>> query_mail_;
+  std::unique_ptr<Mailbox<ResponseMsg>> response_mail_;
+  const TransitionT* transition_ = nullptr;
+  const WalkerSpecT* walker_spec_ = nullptr;
+  walker_id_t num_walkers_ = 0;
+  bool second_order_ = false;
+  bool dynamic_ = false;
+  SamplingStats last_stats_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_ENGINE_WALK_ENGINE_H_

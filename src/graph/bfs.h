@@ -1,0 +1,54 @@
+// Level-synchronous BFS over CSR.
+//
+// Used as the comparison workload of Figure 5 (active-set behaviour of
+// traditional graph processing vs. random walk) and for the paper's intro
+// observation that node2vec's vertex navigation rate is orders of magnitude
+// below BFS's.
+#ifndef SRC_GRAPH_BFS_H_
+#define SRC_GRAPH_BFS_H_
+
+#include <queue>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct BfsResult {
+  // parent[v] == kInvalidVertex when unreachable; parent[root] == root.
+  std::vector<vertex_id_t> parent;
+  // Frontier size per BFS level (Figure 5's "active vertices").
+  std::vector<uint64_t> frontier_history;
+  uint64_t reached = 0;
+};
+
+template <typename EdgeData>
+BfsResult Bfs(const Csr<EdgeData>& graph, vertex_id_t root) {
+  KK_CHECK(root < graph.num_vertices());
+  BfsResult result;
+  result.parent.assign(graph.num_vertices(), kInvalidVertex);
+  result.parent[root] = root;
+  std::vector<vertex_id_t> frontier{root};
+  result.reached = 1;
+  while (!frontier.empty()) {
+    result.frontier_history.push_back(frontier.size());
+    std::vector<vertex_id_t> next;
+    for (vertex_id_t u : frontier) {
+      for (const auto& adj : graph.Neighbors(u)) {
+        if (result.parent[adj.neighbor] == kInvalidVertex) {
+          result.parent[adj.neighbor] = u;
+          next.push_back(adj.neighbor);
+          ++result.reached;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_BFS_H_

@@ -1,0 +1,60 @@
+// Connected components over CSR (undirected graphs).
+//
+// Dataset hygiene for walk experiments: a walker can never leave its
+// component, so corpus coverage and PPR reachability depend on component
+// structure. Used by tests and the dataset tooling to report/validate the
+// giant-component fraction of generated graphs.
+#ifndef SRC_GRAPH_COMPONENTS_H_
+#define SRC_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct ComponentsResult {
+  // label[v] identifies v's component (the smallest vertex id in it).
+  std::vector<vertex_id_t> label;
+  vertex_id_t num_components = 0;
+  vertex_id_t largest_size = 0;
+  vertex_id_t largest_label = 0;
+};
+
+template <typename EdgeData>
+ComponentsResult ConnectedComponents(const Csr<EdgeData>& graph) {
+  ComponentsResult result;
+  vertex_id_t n = graph.num_vertices();
+  result.label.assign(n, kInvalidVertex);
+  std::vector<vertex_id_t> stack;
+  for (vertex_id_t root = 0; root < n; ++root) {
+    if (result.label[root] != kInvalidVertex) {
+      continue;
+    }
+    ++result.num_components;
+    vertex_id_t size = 0;
+    result.label[root] = root;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      vertex_id_t v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const auto& adj : graph.Neighbors(v)) {
+        if (result.label[adj.neighbor] == kInvalidVertex) {
+          result.label[adj.neighbor] = root;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+    if (size > result.largest_size) {
+      result.largest_size = size;
+      result.largest_label = root;
+    }
+  }
+  return result;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_COMPONENTS_H_

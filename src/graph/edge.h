@@ -1,0 +1,84 @@
+// Edge payload types and the adjacency unit stored in CSR.
+//
+// KnightKing parameterizes the whole stack on the per-edge payload: unbiased
+// homogeneous walks carry no payload, biased walks carry a weight, Meta-path
+// walks carry an edge type, and biased heterogeneous walks carry both. The
+// traits below let the engine specialize (e.g. skip alias-table construction
+// when there is no weight) at compile time.
+#ifndef SRC_GRAPH_EDGE_H_
+#define SRC_GRAPH_EDGE_H_
+
+#include <concepts>
+#include <type_traits>
+
+#include "src/util/types.h"
+
+namespace knightking {
+
+// No payload: unbiased, homogeneous graphs.
+struct EmptyEdgeData {
+  friend bool operator==(const EmptyEdgeData&, const EmptyEdgeData&) = default;
+};
+
+// Biased walks: static transition component from the weight.
+struct WeightedEdgeData {
+  real_t weight = 1.0f;
+  friend bool operator==(const WeightedEdgeData&, const WeightedEdgeData&) = default;
+};
+
+// Heterogeneous graphs (Meta-path): unweighted but typed edges.
+struct TypedEdgeData {
+  edge_type_t type = 0;
+  friend bool operator==(const TypedEdgeData&, const TypedEdgeData&) = default;
+};
+
+// Biased heterogeneous graphs.
+struct WeightedTypedEdgeData {
+  real_t weight = 1.0f;
+  edge_type_t type = 0;
+  friend bool operator==(const WeightedTypedEdgeData&, const WeightedTypedEdgeData&) = default;
+};
+
+template <typename T>
+concept HasWeight = requires(T t) {
+  { t.weight } -> std::convertible_to<real_t>;
+};
+
+template <typename T>
+concept HasEdgeType = requires(T t) {
+  { t.type } -> std::convertible_to<edge_type_t>;
+};
+
+// Static weight of an edge payload: its weight member, or 1 when unweighted.
+template <typename EdgeData>
+inline real_t StaticWeight(const EdgeData& data) {
+  if constexpr (HasWeight<EdgeData>) {
+    return data.weight;
+  } else {
+    (void)data;
+    return 1.0f;
+  }
+}
+
+// A directed edge in an edge list (pre-CSR representation).
+template <typename EdgeData>
+struct Edge {
+  vertex_id_t src = 0;
+  vertex_id_t dst = 0;
+  [[no_unique_address]] EdgeData data{};
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// One adjacency entry in CSR: the neighbor plus the edge payload.
+template <typename EdgeData>
+struct AdjUnit {
+  vertex_id_t neighbor = 0;
+  [[no_unique_address]] EdgeData data{};
+
+  friend bool operator==(const AdjUnit&, const AdjUnit&) = default;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_EDGE_H_

@@ -1,0 +1,156 @@
+// Edge-list container plus text / binary (de)serialization.
+//
+// The edge list is the interchange format between graph generators, file
+// loaders, and the CSR builder. Undirected graphs are represented the way the
+// paper stores them (§6.1): every undirected edge appears twice, once per
+// direction.
+#ifndef SRC_GRAPH_EDGE_LIST_H_
+#define SRC_GRAPH_EDGE_LIST_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/graph/edge.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+template <typename EdgeData>
+struct EdgeList {
+  std::vector<Edge<EdgeData>> edges;
+  vertex_id_t num_vertices = 0;
+
+  // Recomputes num_vertices as (max endpoint + 1). Useful after loading.
+  void FitVertexCount() {
+    vertex_id_t max_v = 0;
+    for (const auto& e : edges) {
+      max_v = std::max({max_v, e.src, e.dst});
+    }
+    num_vertices = edges.empty() ? 0 : max_v + 1;
+  }
+
+  // Appends the reverse of every edge, turning a one-direction undirected
+  // listing into the doubled representation CSR expects.
+  void MakeUndirected() {
+    size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      Edge<EdgeData> rev = edges[i];
+      std::swap(rev.src, rev.dst);
+      edges.push_back(rev);
+    }
+  }
+};
+
+// --- Text I/O ---------------------------------------------------------------
+// Format: one edge per line, "src dst [weight] [type]" depending on payload.
+
+template <typename EdgeData>
+bool WriteEdgeListText(const EdgeList<EdgeData>& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (const auto& e : list.edges) {
+    std::fprintf(f, "%u %u", e.src, e.dst);
+    if constexpr (HasWeight<EdgeData>) {
+      std::fprintf(f, " %f", static_cast<double>(e.data.weight));
+    }
+    if constexpr (HasEdgeType<EdgeData>) {
+      std::fprintf(f, " %u", static_cast<unsigned>(e.data.type));
+    }
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+template <typename EdgeData>
+bool ReadEdgeListText(const std::string& path, EdgeList<EdgeData>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  out->edges.clear();
+  Edge<EdgeData> e;
+  for (;;) {
+    unsigned src = 0;
+    unsigned dst = 0;
+    int n = std::fscanf(f, "%u %u", &src, &dst);
+    if (n != 2) {
+      break;
+    }
+    e.src = static_cast<vertex_id_t>(src);
+    e.dst = static_cast<vertex_id_t>(dst);
+    if constexpr (HasWeight<EdgeData>) {
+      double w = 1.0;
+      if (std::fscanf(f, "%lf", &w) != 1) {
+        std::fclose(f);
+        return false;
+      }
+      e.data.weight = static_cast<real_t>(w);
+    }
+    if constexpr (HasEdgeType<EdgeData>) {
+      unsigned t = 0;
+      if (std::fscanf(f, "%u", &t) != 1) {
+        std::fclose(f);
+        return false;
+      }
+      e.data.type = static_cast<edge_type_t>(t);
+    }
+    out->edges.push_back(e);
+  }
+  std::fclose(f);
+  out->FitVertexCount();
+  return true;
+}
+
+// --- Binary I/O -------------------------------------------------------------
+// Layout: magic, payload size, vertex count, edge count, raw Edge array.
+
+inline constexpr uint64_t kEdgeListMagic = 0x4b4b45444745ULL;  // "KKEDGE"
+
+template <typename EdgeData>
+bool WriteEdgeListBinary(const EdgeList<EdgeData>& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[4] = {kEdgeListMagic, sizeof(Edge<EdgeData>), list.num_vertices,
+                        list.edges.size()};
+  bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+  if (ok && !list.edges.empty()) {
+    ok = std::fwrite(list.edges.data(), sizeof(Edge<EdgeData>), list.edges.size(), f) ==
+         list.edges.size();
+  }
+  std::fclose(f);
+  return ok;
+}
+
+template <typename EdgeData>
+bool ReadEdgeListBinary(const std::string& path, EdgeList<EdgeData>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint64_t header[4] = {};
+  bool ok = std::fread(header, sizeof(header), 1, f) == 1 && header[0] == kEdgeListMagic &&
+            header[1] == sizeof(Edge<EdgeData>);
+  if (ok) {
+    out->num_vertices = static_cast<vertex_id_t>(header[2]);
+    out->edges.resize(header[3]);
+    if (header[3] > 0) {
+      ok = std::fread(out->edges.data(), sizeof(Edge<EdgeData>), out->edges.size(), f) ==
+           out->edges.size();
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,192 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace knightking {
+
+namespace {
+
+// Sorts and removes parallel edges: generated graphs are simple graphs,
+// matching the paper's real-world inputs (adjacency lists are sets).
+void DedupeEdges(EdgeList<EmptyEdgeData>& list) {
+  std::sort(list.edges.begin(), list.edges.end(),
+            [](const Edge<EmptyEdgeData>& x, const Edge<EmptyEdgeData>& y) {
+              return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+            });
+  list.edges.erase(std::unique(list.edges.begin(), list.edges.end()), list.edges.end());
+}
+
+// Pairs up shuffled stubs (configuration model), dropping self-loops and
+// parallel edges, and emits each surviving pair in both directions.
+EdgeList<EmptyEdgeData> PairStubs(std::vector<vertex_id_t>&& stubs, vertex_id_t num_vertices,
+                                  Rng& rng) {
+  std::shuffle(stubs.begin(), stubs.end(), rng);
+  if (stubs.size() % 2 != 0) {
+    stubs.pop_back();
+  }
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(stubs.size());
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    vertex_id_t u = stubs[i];
+    vertex_id_t v = stubs[i + 1];
+    if (u == v) {
+      continue;
+    }
+    list.edges.push_back({u, v, {}});
+    list.edges.push_back({v, u, {}});
+  }
+  DedupeEdges(list);
+  return list;
+}
+
+// Samples a degree from P(d) ~ d^-alpha on [min_degree, max_degree] via
+// inverse transform over the continuous power law, rounded down.
+vertex_id_t SampleTruncatedPowerLaw(double alpha, vertex_id_t min_degree,
+                                    vertex_id_t max_degree, Rng& rng) {
+  KK_DCHECK(min_degree >= 1 && max_degree >= min_degree);
+  double lo = static_cast<double>(min_degree);
+  double hi = static_cast<double>(max_degree) + 1.0;
+  double u = rng.NextDouble();
+  double d;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    d = lo * std::pow(hi / lo, u);
+  } else {
+    double one_minus = 1.0 - alpha;
+    double lo_p = std::pow(lo, one_minus);
+    double hi_p = std::pow(hi, one_minus);
+    d = std::pow(lo_p + u * (hi_p - lo_p), 1.0 / one_minus);
+  }
+  auto deg = static_cast<vertex_id_t>(d);
+  return std::clamp(deg, min_degree, max_degree);
+}
+
+}  // namespace
+
+EdgeList<EmptyEdgeData> GenerateUniformDegree(vertex_id_t num_vertices, vertex_id_t degree,
+                                              uint64_t seed) {
+  KK_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  std::vector<vertex_id_t> stubs;
+  stubs.reserve(static_cast<size_t>(num_vertices) * degree);
+  for (vertex_id_t v = 0; v < num_vertices; ++v) {
+    for (vertex_id_t k = 0; k < degree; ++k) {
+      stubs.push_back(v);
+    }
+  }
+  return PairStubs(std::move(stubs), num_vertices, rng);
+}
+
+EdgeList<EmptyEdgeData> GenerateTruncatedPowerLaw(vertex_id_t num_vertices, double alpha,
+                                                  vertex_id_t min_degree,
+                                                  vertex_id_t max_degree, uint64_t seed) {
+  KK_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  std::vector<vertex_id_t> stubs;
+  for (vertex_id_t v = 0; v < num_vertices; ++v) {
+    vertex_id_t deg = SampleTruncatedPowerLaw(alpha, min_degree, max_degree, rng);
+    for (vertex_id_t k = 0; k < deg; ++k) {
+      stubs.push_back(v);
+    }
+  }
+  return PairStubs(std::move(stubs), num_vertices, rng);
+}
+
+EdgeList<EmptyEdgeData> GenerateHotspot(vertex_id_t num_vertices, vertex_id_t base_degree,
+                                        vertex_id_t num_hotspots, vertex_id_t hotspot_degree,
+                                        uint64_t seed) {
+  KK_CHECK(num_hotspots < num_vertices);
+  KK_CHECK(hotspot_degree < num_vertices);
+  Rng rng(seed);
+  EdgeList<EmptyEdgeData> list = GenerateUniformDegree(num_vertices, base_degree, seed + 1);
+  // Hotspots are the first num_hotspots vertex ids; each links to
+  // hotspot_degree distinct non-hotspot peers.
+  for (vertex_id_t h = 0; h < num_hotspots; ++h) {
+    std::unordered_set<vertex_id_t> picked;
+    picked.reserve(hotspot_degree * 2);
+    while (picked.size() < hotspot_degree) {
+      vertex_id_t peer = static_cast<vertex_id_t>(
+          num_hotspots + rng.NextUInt64(num_vertices - num_hotspots));
+      if (picked.insert(peer).second) {
+        list.edges.push_back({h, peer, {}});
+        list.edges.push_back({peer, h, {}});
+      }
+    }
+  }
+  DedupeEdges(list);  // a hotspot link may coincide with a base edge
+  return list;
+}
+
+EdgeList<EmptyEdgeData> GenerateRmat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                                     double c, uint64_t seed) {
+  KK_CHECK(scale > 0 && scale < 31);
+  double d = 1.0 - a - b - c;
+  KK_CHECK(a > 0 && b >= 0 && c >= 0 && d > 0);
+  Rng rng(seed);
+  vertex_id_t n = static_cast<vertex_id_t>(1u) << scale;
+  edge_index_t m = static_cast<edge_index_t>(edge_factor) * n;
+
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = n;
+  list.edges.reserve(static_cast<size_t>(m) * 2);
+  for (edge_index_t i = 0; i < m; ++i) {
+    vertex_id_t u = 0;
+    vertex_id_t v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      uint32_t ubit = 0;
+      uint32_t vbit = 0;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        vbit = 1;
+      } else if (r < a + b + c) {
+        ubit = 1;
+      } else {
+        ubit = 1;
+        vbit = 1;
+      }
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    if (u == v) {
+      continue;
+    }
+    list.edges.push_back({u, v, {}});
+    list.edges.push_back({v, u, {}});
+  }
+  DedupeEdges(list);
+  return list;
+}
+
+EdgeList<EmptyEdgeData> GenerateErdosRenyi(vertex_id_t num_vertices, edge_index_t num_edges,
+                                           uint64_t seed) {
+  KK_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(static_cast<size_t>(num_edges) * 2);
+  while (seen.size() < num_edges) {
+    vertex_id_t u = static_cast<vertex_id_t>(rng.NextUInt64(num_vertices));
+    vertex_id_t v = static_cast<vertex_id_t>(rng.NextUInt64(num_vertices));
+    if (u == v) {
+      continue;
+    }
+    uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    if (seen.insert(key).second) {
+      list.edges.push_back({u, v, {}});
+      list.edges.push_back({v, u, {}});
+    }
+  }
+  return list;
+}
+
+}  // namespace knightking

@@ -1,0 +1,57 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four real-world graphs (LiveJournal, Friendster,
+// Twitter, UK-Union) plus synthetic graphs with controlled topology
+// (uniform-degree, truncated power-law, hotspot-injected; §7.3). The real
+// datasets are multi-gigabyte downloads that are unavailable offline, so this
+// reproduction uses these generators both for the §7.3 topology sweeps (same
+// construction as the paper) and to build scaled-down stand-ins whose degree
+// mean/skew ordering matches Table 2 (see DESIGN.md §3).
+//
+// All generators return *undirected* graphs in the doubled-edge-list
+// representation (each undirected edge appears in both directions), with
+// self-loops removed, matching §6.1's storage convention.
+#ifndef SRC_GRAPH_GENERATORS_H_
+#define SRC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/edge.h"
+#include "src/graph/edge_list.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// Every vertex has (approximately) the given degree: vertices emit
+// `degree` stubs which are shuffled and paired (configuration model).
+// Self-loops are dropped, so realized degrees can be slightly below target.
+EdgeList<EmptyEdgeData> GenerateUniformDegree(vertex_id_t num_vertices, vertex_id_t degree,
+                                              uint64_t seed);
+
+// Degrees follow a truncated discrete power law: P(deg = d) ~ d^-alpha for
+// d in [min_degree, max_degree], realized via the configuration model.
+// Raising max_degree increases skew, exactly the knob of Figure 6b.
+EdgeList<EmptyEdgeData> GenerateTruncatedPowerLaw(vertex_id_t num_vertices, double alpha,
+                                                  vertex_id_t min_degree,
+                                                  vertex_id_t max_degree, uint64_t seed);
+
+// Figure 6c's construction: a uniform graph of `base_degree`, plus
+// `num_hotspots` vertices each connected to `hotspot_degree` distinct random
+// peers (both directions stored).
+EdgeList<EmptyEdgeData> GenerateHotspot(vertex_id_t num_vertices, vertex_id_t base_degree,
+                                        vertex_id_t num_hotspots, vertex_id_t hotspot_degree,
+                                        uint64_t seed);
+
+// R-MAT (recursive matrix) generator: 2^scale vertices, edge_factor * 2^scale
+// undirected edges with the usual (a, b, c, d) quadrant probabilities.
+// a >> b,c,d yields heavy power-law skew (Twitter-like stand-ins).
+EdgeList<EmptyEdgeData> GenerateRmat(uint32_t scale, uint32_t edge_factor, double a, double b,
+                                     double c, uint64_t seed);
+
+// Erdos-Renyi G(n, m): m distinct undirected edges chosen uniformly.
+EdgeList<EmptyEdgeData> GenerateErdosRenyi(vertex_id_t num_vertices, edge_index_t num_edges,
+                                           uint64_t seed);
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,72 @@
+// PageRank via power iteration.
+//
+// §2.2 contrasts Personalized PageRank (random-walk approximated) with "the
+// general PageRank problem, which is often computed using power iteration".
+// This is that reference implementation. It doubles as ground truth for the
+// Monte-Carlo estimator: walks with geometric termination Pt, started
+// uniformly, visit vertices with frequency proportional to PageRank with
+// damping factor d = 1 - Pt (tested in tests/extensions_test.cc).
+#ifndef SRC_GRAPH_PAGERANK_H_
+#define SRC_GRAPH_PAGERANK_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+struct PageRankParams {
+  double damping = 0.85;
+  uint32_t max_iterations = 100;
+  double tolerance = 1e-10;  // L1 change per iteration to declare converged
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  // sums to 1
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+template <typename EdgeData>
+PageRankResult PageRank(const Csr<EdgeData>& graph, const PageRankParams& params) {
+  vertex_id_t n = graph.num_vertices();
+  KK_CHECK(n > 0);
+  PageRankResult result;
+  result.scores.assign(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (uint32_t it = 0; it < params.max_iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (vertex_id_t v = 0; v < n; ++v) {
+      vertex_id_t degree = graph.OutDegree(v);
+      if (degree == 0) {
+        dangling += result.scores[v];
+        continue;
+      }
+      double share = result.scores[v] / degree;
+      for (const auto& adj : graph.Neighbors(v)) {
+        next[adj.neighbor] += share;
+      }
+    }
+    double base = (1.0 - params.damping) / n + params.damping * dangling / n;
+    double delta = 0.0;
+    for (vertex_id_t v = 0; v < n; ++v) {
+      double updated = base + params.damping * next[v];
+      delta += std::abs(updated - result.scores[v]);
+      result.scores[v] = updated;
+    }
+    result.iterations = it + 1;
+    if (delta < params.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_PAGERANK_H_

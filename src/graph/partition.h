@@ -1,0 +1,86 @@
+// 1-D contiguous vertex partitioning (§6.1).
+//
+// KnightKing estimates per-vertex processing workload as (vertex count +
+// edge count) and cuts the vertex id space into contiguous ranges whose
+// workload sums are balanced across nodes. Contiguity keeps owner lookup
+// cheap and preserves CSR locality inside each node.
+#ifndef SRC_GRAPH_PARTITION_H_
+#define SRC_GRAPH_PARTITION_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  // Balances sum(vertex_weight + degree[v]) across num_nodes contiguous
+  // ranges with a greedy sweep hitting cumulative targets.
+  static Partition FromDegrees(std::span<const vertex_id_t> degrees, node_rank_t num_nodes,
+                               double vertex_weight = 1.0) {
+    KK_CHECK(num_nodes > 0);
+    vertex_id_t n = static_cast<vertex_id_t>(degrees.size());
+    double total = 0.0;
+    for (vertex_id_t d : degrees) {
+      total += vertex_weight + static_cast<double>(d);
+    }
+    Partition p;
+    p.starts_.assign(num_nodes + 1, n);
+    p.starts_[0] = 0;
+    double accumulated = 0.0;
+    node_rank_t node = 0;
+    for (vertex_id_t v = 0; v < n && node + 1 < num_nodes; ++v) {
+      accumulated += vertex_weight + static_cast<double>(degrees[v]);
+      // Cut after v once this node's share reaches its cumulative target.
+      double target = total * static_cast<double>(node + 1) / static_cast<double>(num_nodes);
+      if (accumulated >= target) {
+        p.starts_[++node] = v + 1;
+      }
+    }
+    // Cut points never produced by the sweep stay at n: trailing nodes own
+    // an empty range, which OwnerOf handles via upper_bound over duplicates.
+    p.starts_[num_nodes] = n;
+    return p;
+  }
+
+  node_rank_t num_nodes() const { return static_cast<node_rank_t>(starts_.size() - 1); }
+
+  vertex_id_t num_vertices() const { return starts_.back(); }
+
+  vertex_id_t Begin(node_rank_t node) const {
+    KK_DCHECK(node < num_nodes());
+    return starts_[node];
+  }
+
+  vertex_id_t End(node_rank_t node) const {
+    KK_DCHECK(node < num_nodes());
+    return starts_[node + 1];
+  }
+
+  vertex_id_t OwnedCount(node_rank_t node) const { return End(node) - Begin(node); }
+
+  bool Owns(node_rank_t node, vertex_id_t v) const {
+    return v >= Begin(node) && v < End(node);
+  }
+
+  // Owner of vertex v: binary search over the cut points (num_nodes is small,
+  // typically <= 64).
+  node_rank_t OwnerOf(vertex_id_t v) const {
+    KK_DCHECK(v < num_vertices());
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+    return static_cast<node_rank_t>(it - starts_.begin() - 1);
+  }
+
+ private:
+  std::vector<vertex_id_t> starts_;  // size num_nodes + 1; node i owns [starts_[i], starts_[i+1])
+};
+
+}  // namespace knightking
+
+#endif  // SRC_GRAPH_PARTITION_H_

@@ -1,0 +1,107 @@
+// Alias method for O(1) sampling from a discrete distribution (§3, Fig. 1b).
+//
+// KnightKing uses alias tables for the static transition component Ps: built
+// once per vertex in O(degree), each trial then samples a candidate edge in
+// O(1). This file provides both a standalone AliasTable (tests, small uses)
+// and FlatAliasTables, which packs one table per vertex into flat arrays
+// aligned with a CSR's adjacency layout.
+#ifndef SRC_SAMPLING_ALIAS_TABLE_H_
+#define SRC_SAMPLING_ALIAS_TABLE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+namespace alias_internal {
+
+// Vose's alias construction over weights[begin..end) writing into
+// prob/alias[0..n). Returns the total weight. Zero-weight entries are valid
+// (never sampled); an all-zero distribution returns total 0 and must not be
+// sampled from.
+double BuildAliasRow(std::span<const real_t> weights, std::span<real_t> prob,
+                     std::span<uint32_t> alias);
+
+// One alias draw over a row of size n.
+inline size_t SampleAliasRow(std::span<const real_t> prob, std::span<const uint32_t> alias,
+                             Rng& rng) {
+  size_t n = prob.size();
+  KK_DCHECK(n > 0);
+  size_t bucket = static_cast<size_t>(rng.NextUInt64(n));
+  return rng.NextFloat() < prob[bucket] ? bucket : alias[bucket];
+}
+
+}  // namespace alias_internal
+
+// Standalone alias table over one weight vector.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  explicit AliasTable(std::span<const real_t> weights) { Build(weights); }
+
+  void Build(std::span<const real_t> weights) {
+    prob_.resize(weights.size());
+    alias_.resize(weights.size());
+    total_weight_ = alias_internal::BuildAliasRow(weights, prob_, alias_);
+  }
+
+  size_t size() const { return prob_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  // Samples index i with probability weights[i] / total_weight in O(1).
+  size_t Sample(Rng& rng) const {
+    KK_DCHECK(total_weight_ > 0);
+    return alias_internal::SampleAliasRow(prob_, alias_, rng);
+  }
+
+ private:
+  std::vector<real_t> prob_;
+  std::vector<uint32_t> alias_;
+  double total_weight_ = 0.0;
+};
+
+// Per-vertex alias tables packed into flat arrays parallel to a CSR
+// adjacency array. Memory: 8 bytes per edge plus 12 bytes per vertex.
+class FlatAliasTables {
+ public:
+  FlatAliasTables() = default;
+
+  // offsets: CSR offsets (size V+1); weights: per-edge static weights in CSR
+  // order (size E).
+  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights);
+
+  // Samples a local edge index (offset within v's adjacency).
+  vertex_id_t Sample(vertex_id_t v, Rng& rng) const {
+    edge_index_t begin = offsets_[v];
+    edge_index_t end = offsets_[v + 1];
+    KK_DCHECK(end > begin);
+    std::span<const real_t> prob(prob_.data() + begin, end - begin);
+    std::span<const uint32_t> alias(alias_.data() + begin, end - begin);
+    return static_cast<vertex_id_t>(alias_internal::SampleAliasRow(prob, alias, rng));
+  }
+
+  // Sum of static weights at v (the denominator of Eq. 3's effective area).
+  double TotalWeight(vertex_id_t v) const { return totals_[v]; }
+
+  // Maximum single static weight at v: used as the appendix width bound for
+  // outlier folding with biased walks.
+  real_t MaxWeight(vertex_id_t v) const { return max_weight_[v]; }
+
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<edge_index_t> offsets_;
+  std::vector<real_t> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> totals_;
+  std::vector<real_t> max_weight_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_ALIAS_TABLE_H_

@@ -1,0 +1,112 @@
+// Inverse transform sampling over a CDF array (§3, Fig. 1a).
+//
+// O(n) build (prefix sums), O(log n) sampling via binary search. KnightKing's
+// engine defaults to alias tables for Ps, but ITS is what the Gemini-adapted
+// baseline rebuilds at every step of a dynamic walk — its build cost *is* the
+// full-scan overhead the paper measures — and the engine also offers it as an
+// alternative static sampler.
+#ifndef SRC_SAMPLING_ITS_H_
+#define SRC_SAMPLING_ITS_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// Standalone CDF sampler over one weight vector.
+class InverseTransformSampler {
+ public:
+  InverseTransformSampler() = default;
+
+  explicit InverseTransformSampler(std::span<const real_t> weights) { Build(weights); }
+
+  void Build(std::span<const real_t> weights) {
+    cdf_.resize(weights.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      KK_CHECK(weights[i] >= 0.0f);
+      sum += static_cast<double>(weights[i]);
+      cdf_[i] = sum;
+    }
+    total_weight_ = sum;
+  }
+
+  size_t size() const { return cdf_.size(); }
+  double total_weight() const { return total_weight_; }
+
+  // Samples index i with probability weights[i] / total_weight in O(log n).
+  size_t Sample(Rng& rng) const {
+    KK_DCHECK(total_weight_ > 0);
+    double r = rng.NextDouble(total_weight_);
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
+    if (it == cdf_.end()) {
+      --it;  // guards the measure-zero r == total case under rounding
+    }
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_weight_ = 0.0;
+};
+
+// Per-vertex CDF arrays packed flat against a CSR layout; the ITS counterpart
+// of FlatAliasTables.
+class FlatItsTables {
+ public:
+  FlatItsTables() = default;
+
+  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights) {
+    KK_CHECK(!offsets.empty());
+    size_t num_vertices = offsets.size() - 1;
+    KK_CHECK(offsets.back() == weights.size());
+    offsets_.assign(offsets.begin(), offsets.end());
+    cdf_.resize(weights.size());
+    totals_.resize(num_vertices);
+    max_weight_.resize(num_vertices);
+    for (size_t v = 0; v < num_vertices; ++v) {
+      double sum = 0.0;
+      real_t max_w = 0.0f;
+      for (edge_index_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        sum += static_cast<double>(weights[i]);
+        max_w = std::max(max_w, weights[i]);
+        cdf_[i] = sum;
+      }
+      totals_[v] = sum;
+      max_weight_[v] = max_w;
+    }
+  }
+
+  vertex_id_t Sample(vertex_id_t v, Rng& rng) const {
+    edge_index_t begin = offsets_[v];
+    edge_index_t end = offsets_[v + 1];
+    KK_DCHECK(end > begin && totals_[v] > 0);
+    double r = rng.NextDouble(totals_[v]);
+    const double* first = cdf_.data() + begin;
+    const double* last = cdf_.data() + end;
+    const double* it = std::upper_bound(first, last, r);
+    if (it == last) {
+      --it;
+    }
+    return static_cast<vertex_id_t>(it - first);
+  }
+
+  double TotalWeight(vertex_id_t v) const { return totals_[v]; }
+  real_t MaxWeight(vertex_id_t v) const { return max_weight_[v]; }
+  bool empty() const { return cdf_.empty() && totals_.empty(); }
+
+ private:
+  std::vector<edge_index_t> offsets_;
+  std::vector<double> cdf_;
+  std::vector<double> totals_;
+  std::vector<real_t> max_weight_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_ITS_H_

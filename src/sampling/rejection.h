@@ -1,0 +1,108 @@
+// Standalone single-vertex rejection sampler (§4.1) for library users who
+// want KnightKing's sampling core without the distributed engine.
+//
+// A RejectionRow owns the static component of one vertex's out-edges (an
+// alias table over Ps) and an envelope Q >= max Pd. Sample() then draws
+// edge indices with probability proportional to Ps[i] * pd(i), evaluating
+// pd only for candidates — O(1) expected work per draw — with the same
+// lower-bound pre-acceptance and bounded-trials exact fallback the engine
+// uses. The engine itself keeps its own fused implementation (flat arrays
+// across all vertices plus distributed queries); results are identical.
+#ifndef SRC_SAMPLING_REJECTION_H_
+#define SRC_SAMPLING_REJECTION_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sampling/alias_table.h"
+#include "src/sampling/stats.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+class RejectionRow {
+ public:
+  struct Options {
+    real_t upper_bound = 1.0f;  // Q: must dominate every pd(i)
+    real_t lower_bound = 0.0f;  // L: pre-accept at or below (0 disables)
+    uint32_t max_trials = 64;   // rejections before the exact fallback scan
+  };
+
+  RejectionRow(std::span<const real_t> static_weights, Options options)
+      : options_(options), alias_(static_weights), size_(static_weights.size()) {
+    KK_CHECK(options_.upper_bound > 0.0f);
+    KK_CHECK(options_.lower_bound >= 0.0f && options_.lower_bound <= options_.upper_bound);
+    KK_CHECK(options_.max_trials > 0);
+    weights_.assign(static_weights.begin(), static_weights.end());
+  }
+
+  // Unbiased (Ps == 1) row of n entries.
+  static RejectionRow Uniform(size_t n, Options options) {
+    std::vector<real_t> ones(n, 1.0f);
+    return RejectionRow(ones, options);
+  }
+
+  size_t size() const { return size_; }
+
+  // Draws index i with probability Ps[i] * pd(i) / sum_j Ps[j] * pd(j).
+  // pd(i) must lie in [0, upper_bound] (and >= lower_bound if one was set).
+  // Returns size() when no entry has positive probability.
+  template <typename PdFn>
+  size_t Sample(PdFn&& pd, Rng& rng, SamplingStats* stats = nullptr) const {
+    KK_CHECK(size_ > 0);
+    if (alias_.total_weight() <= 0.0) {
+      return size_;
+    }
+    for (uint32_t t = 0; t < options_.max_trials; ++t) {
+      if (stats != nullptr) {
+        stats->trials += 1;
+      }
+      size_t candidate = alias_.Sample(rng);
+      real_t y = static_cast<real_t>(rng.NextDouble(options_.upper_bound));
+      if (options_.lower_bound > 0.0f && y < options_.lower_bound) {
+        if (stats != nullptr) {
+          stats->pre_accepts += 1;
+        }
+        return candidate;
+      }
+      if (stats != nullptr) {
+        stats->pd_computations += 1;
+      }
+      if (y < pd(candidate)) {
+        return candidate;
+      }
+    }
+    // Exact fallback: one full scan (keeps pathological rows exact).
+    if (stats != nullptr) {
+      stats->fallback_scans += 1;
+      stats->pd_computations += size_;
+    }
+    std::vector<double> cdf(size_);
+    double total = 0.0;
+    for (size_t i = 0; i < size_; ++i) {
+      total += static_cast<double>(weights_[i]) * static_cast<double>(pd(i));
+      cdf[i] = total;
+    }
+    if (total <= 0.0) {
+      return size_;
+    }
+    double r = rng.NextDouble(total);
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+    if (it == cdf.end()) {
+      --it;
+    }
+    return static_cast<size_t>(it - cdf.begin());
+  }
+
+ private:
+  Options options_;
+  AliasTable alias_;
+  std::vector<real_t> weights_;
+  size_t size_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_REJECTION_H_

@@ -1,0 +1,126 @@
+// Unified per-vertex static (Ps) candidate sampler.
+//
+// Wraps the three strategies of §3 behind one interface: uniform (unbiased
+// graphs: no build cost, O(1) draws), alias (O(n) build, O(1) draws — the
+// engine default for biased walks), and ITS (O(n) build, O(log n) draws).
+#ifndef SRC_SAMPLING_STATIC_SAMPLER_H_
+#define SRC_SAMPLING_STATIC_SAMPLER_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/sampling/alias_table.h"
+#include "src/sampling/its.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+enum class StaticSamplerKind {
+  kAuto = 0,     // uniform when Ps == 1 everywhere, alias otherwise
+  kUniform = 1,  // requires Ps == 1
+  kAlias = 2,
+  kIts = 3,
+};
+
+const char* StaticSamplerKindName(StaticSamplerKind kind);
+
+// Per-vertex candidate sampler over the static component. Samples return a
+// *local* edge index into Csr::Neighbors(v).
+template <typename EdgeData>
+class StaticSamplerSet {
+ public:
+  using StaticCompFn = std::function<real_t(vertex_id_t, const AdjUnit<EdgeData>&)>;
+
+  // static_comp == nullptr means "use the edge weight, or 1 if unweighted".
+  void Build(const Csr<EdgeData>& csr, StaticSamplerKind kind, const StaticCompFn& static_comp) {
+    csr_ = &csr;
+    bool custom = static_cast<bool>(static_comp);
+    bool weighted = custom || HasWeight<EdgeData>;
+    kind_ = kind;
+    if (kind_ == StaticSamplerKind::kAuto) {
+      kind_ = weighted ? StaticSamplerKind::kAlias : StaticSamplerKind::kUniform;
+    }
+    if (kind_ == StaticSamplerKind::kUniform) {
+      KK_CHECK(!weighted);  // uniform draws would silently ignore Ps
+      return;
+    }
+    // Materialize per-edge static weights in CSR order.
+    std::vector<real_t> weights;
+    weights.reserve(csr.num_edges());
+    std::vector<edge_index_t> offsets;
+    offsets.reserve(static_cast<size_t>(csr.num_vertices()) + 1);
+    offsets.push_back(0);
+    for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+      for (const auto& adj : csr.Neighbors(v)) {
+        weights.push_back(custom ? static_comp(v, adj) : StaticWeight(adj.data));
+      }
+      offsets.push_back(static_cast<edge_index_t>(weights.size()));
+    }
+    if (kind_ == StaticSamplerKind::kAlias) {
+      alias_.Build(offsets, weights);
+    } else {
+      its_.Build(offsets, weights);
+    }
+  }
+
+  StaticSamplerKind kind() const { return kind_; }
+
+  // Samples a local edge index at v proportional to Ps.
+  vertex_id_t Sample(vertex_id_t v, Rng& rng) const {
+    switch (kind_) {
+      case StaticSamplerKind::kUniform:
+        return static_cast<vertex_id_t>(rng.NextUInt32(csr_->OutDegree(v)));
+      case StaticSamplerKind::kAlias:
+        return alias_.Sample(v, rng);
+      case StaticSamplerKind::kIts:
+        return its_.Sample(v, rng);
+      case StaticSamplerKind::kAuto:
+        break;
+    }
+    KK_CHECK(false);
+  }
+
+  // Sum of Ps over v's out-edges (width of the rejection dartboard).
+  double TotalWeight(vertex_id_t v) const {
+    switch (kind_) {
+      case StaticSamplerKind::kUniform:
+        return static_cast<double>(csr_->OutDegree(v));
+      case StaticSamplerKind::kAlias:
+        return alias_.TotalWeight(v);
+      case StaticSamplerKind::kIts:
+        return its_.TotalWeight(v);
+      case StaticSamplerKind::kAuto:
+        break;
+    }
+    KK_CHECK(false);
+  }
+
+  // Max single Ps at v (outlier appendix width bound).
+  real_t MaxWeight(vertex_id_t v) const {
+    switch (kind_) {
+      case StaticSamplerKind::kUniform:
+        return 1.0f;
+      case StaticSamplerKind::kAlias:
+        return alias_.MaxWeight(v);
+      case StaticSamplerKind::kIts:
+        return its_.MaxWeight(v);
+      case StaticSamplerKind::kAuto:
+        break;
+    }
+    KK_CHECK(false);
+  }
+
+ private:
+  const Csr<EdgeData>* csr_ = nullptr;
+  StaticSamplerKind kind_ = StaticSamplerKind::kAuto;
+  FlatAliasTables alias_;
+  FlatItsTables its_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_STATIC_SAMPLER_H_

@@ -1,0 +1,57 @@
+// Sampling-cost accounting.
+//
+// The paper's central metric besides wall time is "the average number of
+// edge transition probabilities computed, per step per walker" (Table 1,
+// Table 5, Figure 6). These counters are maintained by both the KnightKing
+// engine and the full-scan baseline so that the two are directly comparable.
+#ifndef SRC_SAMPLING_STATS_H_
+#define SRC_SAMPLING_STATS_H_
+
+#include <cstdint>
+
+namespace knightking {
+
+struct SamplingStats {
+  uint64_t steps = 0;            // successful walker moves
+  uint64_t trials = 0;           // rejection-sampling candidate draws
+  uint64_t pd_computations = 0;  // dynamic component (Pd) evaluations
+  uint64_t scan_computations = 0;  // per-edge probability computations in full scans
+  uint64_t pre_accepts = 0;      // trials accepted below the lower bound L(v)
+  uint64_t outlier_hits = 0;     // darts landing in an outlier appendix
+  uint64_t queries_remote = 0;   // walker-to-vertex queries crossing nodes
+  uint64_t queries_local = 0;    // queries answered by the walker's own node
+  uint64_t walker_moves_remote = 0;  // walker messages crossing nodes
+  uint64_t fallback_scans = 0;   // exact full-scan fallbacks after repeated rejection
+  uint64_t iterations = 0;       // engine supersteps executed
+
+  void Merge(const SamplingStats& other) {
+    steps += other.steps;
+    trials += other.trials;
+    pd_computations += other.pd_computations;
+    scan_computations += other.scan_computations;
+    pre_accepts += other.pre_accepts;
+    outlier_hits += other.outlier_hits;
+    queries_remote += other.queries_remote;
+    queries_local += other.queries_local;
+    walker_moves_remote += other.walker_moves_remote;
+    fallback_scans += other.fallback_scans;
+    iterations += other.iterations;
+  }
+
+  // The paper's "edges/step": probability computations per successful move.
+  double EdgesPerStep() const {
+    if (steps == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(pd_computations + scan_computations) /
+           static_cast<double>(steps);
+  }
+
+  double TrialsPerStep() const {
+    return steps == 0 ? 0.0 : static_cast<double>(trials) / static_cast<double>(steps);
+  }
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_STATS_H_

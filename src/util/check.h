@@ -1,0 +1,35 @@
+// Lightweight runtime assertion macros.
+//
+// KK_CHECK is always on (it guards invariants whose violation would corrupt a
+// walk or silently bias sampling); KK_DCHECK compiles out in release builds.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace knightking {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "KK_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace knightking
+
+#define KK_CHECK(expr)                                       \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::knightking::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define KK_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define KK_DCHECK(expr) KK_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,34 @@
+// Minimal leveled logging to stderr. The engine logs at most a handful of
+// lines per run (init summary, light-mode transitions when verbose), so a
+// printf-style sink is sufficient and keeps the library dependency-free.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace knightking {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global threshold; messages below it are dropped. Default: kWarning, so the
+// library is silent in tests and benchmarks unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging.
+void LogF(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace knightking
+
+#define KK_LOG_DEBUG(...) ::knightking::LogF(::knightking::LogLevel::kDebug, __VA_ARGS__)
+#define KK_LOG_INFO(...) ::knightking::LogF(::knightking::LogLevel::kInfo, __VA_ARGS__)
+#define KK_LOG_WARN(...) ::knightking::LogF(::knightking::LogLevel::kWarning, __VA_ARGS__)
+#define KK_LOG_ERROR(...) ::knightking::LogF(::knightking::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// Every random stream in the engine is derived from a user seed via
+// SplitMix64, then driven by xoshiro256**. This keeps walks reproducible:
+// the same (seed, walker id) pair always yields the same walk, regardless of
+// thread scheduling or cluster size.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// SplitMix64 step: used for seeding and for cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix of two values; used to derive per-walker seeds.
+// Diffuses `a` through SplitMix64 before folding in `b`, so nearby small
+// inputs cannot collide structurally.
+inline uint64_t HashCombine64(uint64_t a, uint64_t b) {
+  uint64_t s = a;
+  uint64_t ha = SplitMix64(s);
+  s = ha ^ b;
+  return SplitMix64(s);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  Rng() : Rng(0x853c49e6748fea9bULL) {}
+
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(Next() >> 40) * 0x1.0p-24f; }
+
+  // Uniform real in [0, bound).
+  double NextDouble(double bound) { return NextDouble() * bound; }
+
+  // Uniform integer in [0, bound). bound must be positive. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextUInt64(uint64_t bound) {
+    KK_DCHECK(bound > 0);
+    // 128-bit multiply-high keeps the result unbiased.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  uint32_t NextUInt32(uint32_t bound) { return static_cast<uint32_t>(NextUInt64(bound)); }
+
+  // Bernoulli trial: true with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,98 @@
+// Streaming statistics accumulators used by graph degree analysis and the
+// benchmark harness (mean/variance tracking, simple histograms).
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace knightking {
+
+// Welford-style single-pass mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean_ - mean_;
+    uint64_t total = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(total);
+    count_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance.
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [0, num_buckets) integer keys, with an
+// overflow bucket. Used e.g. for walk-length distributions.
+class Histogram {
+ public:
+  explicit Histogram(size_t num_buckets) : buckets_(num_buckets + 1, 0) {}
+
+  void Add(size_t key) {
+    size_t idx = std::min(key, buckets_.size() - 1);
+    ++buckets_[idx];
+  }
+
+  uint64_t BucketCount(size_t key) const {
+    KK_CHECK(key < buckets_.size());
+    return buckets_[key];
+  }
+
+  uint64_t OverflowCount() const { return buckets_.back(); }
+
+  size_t num_buckets() const { return buckets_.size() - 1; }
+
+  uint64_t Total() const {
+    uint64_t sum = 0;
+    for (uint64_t b : buckets_) {
+      sum += b;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_STATS_H_

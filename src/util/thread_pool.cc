@@ -1,0 +1,103 @@
+#include "src/util/thread_pool.h"
+
+#include "src/util/check.h"
+
+namespace knightking {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    size_t begin = job.next.fetch_add(job.chunk_size, std::memory_order_relaxed);
+    if (begin >= job.total) {
+      return;
+    }
+    size_t end = begin + job.chunk_size;
+    if (end > job.total) {
+      end = job.total;
+    }
+    (*job.fn)(begin, end);
+    job.done_chunks.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t total, size_t chunk_size,
+                             const std::function<void(size_t, size_t)>& fn) {
+  KK_CHECK(chunk_size > 0);
+  if (total == 0) {
+    return;
+  }
+  if (workers_.empty() || total <= chunk_size) {
+    // Inline fast path: nothing to coordinate.
+    fn(0, total);
+    return;
+  }
+
+  Job job;
+  job.total = total;
+  job.chunk_size = chunk_size;
+  job.fn = &fn;
+  job.num_chunks = (total + chunk_size - 1) / chunk_size;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_job_ = &job;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+
+  // The caller participates too; this also guarantees progress when workers
+  // are descheduled (we run on machines with fewer cores than workers).
+  RunChunks(job);
+
+  // Wait until no worker still holds a reference to `job` (it lives on this
+  // stack frame). Workers join/leave the job under mutex_, so once
+  // active_workers hits zero with current_job_ cleared, none can re-enter.
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_job_ = nullptr;
+  work_done_.wait(lock, [&] { return job.active_workers == 0; });
+  KK_DCHECK(job.done_chunks.load(std::memory_order_acquire) == job.num_chunks);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutting_down_) {
+        return;
+      }
+      job = current_job_;
+      seen_epoch = job_epoch_;
+      ++job->active_workers;
+    }
+    RunChunks(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active_workers;
+    }
+    work_done_.notify_one();
+  }
+}
+
+}  // namespace knightking

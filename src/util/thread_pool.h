@@ -1,0 +1,73 @@
+// Persistent worker pool with chunked dynamic scheduling.
+//
+// Mirrors KnightKing's task scheduler (§6.2): work is split into fixed-size
+// chunks (default 128 walkers/messages) pulled from a shared atomic counter.
+// The pool is persistent so that the per-iteration cost of coordinating
+// workers is the real synchronization overhead — this is exactly the cost the
+// paper's straggler-aware "light mode" avoids, so it must not be hidden.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace knightking {
+
+// KnightKing's dynamic-scheduling granularity for walkers and messages.
+inline constexpr size_t kDefaultChunkSize = 128;
+
+class ThreadPool {
+ public:
+  // Creates `num_workers` persistent threads. 0 means "run inline on the
+  // caller" (no threads spawned); this is light mode's degenerate pool.
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Runs fn(begin, end) over chunked sub-ranges of [0, total) across all
+  // workers plus the calling thread; returns when every chunk is done.
+  // fn must be safe to invoke concurrently on disjoint ranges.
+  void ParallelFor(size_t total, size_t chunk_size,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  void ParallelFor(size_t total, const std::function<void(size_t, size_t)>& fn) {
+    ParallelFor(total, kDefaultChunkSize, fn);
+  }
+
+ private:
+  void WorkerLoop();
+
+  struct Job {
+    size_t total = 0;
+    size_t chunk_size = 1;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done_chunks{0};
+    size_t num_chunks = 0;
+    int active_workers = 0;  // guarded by ThreadPool::mutex_
+  };
+
+  // Drains chunks of the current job; returns when no chunks remain.
+  void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* current_job_ = nullptr;  // guarded by mutex_
+  uint64_t job_epoch_ = 0;      // guarded by mutex_
+  bool shutting_down_ = false;  // guarded by mutex_
+};
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+// Core scalar type definitions shared across the KnightKing reproduction.
+//
+// The engine follows the paper's conventions: vertices are dense 32-bit ids,
+// edge counts may exceed 2^32 (so edge indices are 64-bit), and transition
+// probabilities are single-precision (accumulations use double).
+#ifndef SRC_UTIL_TYPES_H_
+#define SRC_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace knightking {
+
+// Dense vertex identifier. Graphs up to ~4.2B vertices are supported.
+using vertex_id_t = uint32_t;
+
+// Index into a global edge array; may exceed 2^32 for large graphs.
+using edge_index_t = uint64_t;
+
+// Walker identifier. One walker per vertex is the default deployment, but
+// multi-round runs can exceed |V|, so walkers get 64 bits.
+using walker_id_t = uint64_t;
+
+// Unnormalized transition probability / edge weight component.
+using real_t = float;
+
+// Edge type tag used by heterogeneous-graph algorithms (Meta-path).
+using edge_type_t = uint8_t;
+
+// Logical node (machine) rank inside the simulated cluster.
+using node_rank_t = uint32_t;
+
+// Step counter along a walk.
+using step_t = uint32_t;
+
+inline constexpr vertex_id_t kInvalidVertex = std::numeric_limits<vertex_id_t>::max();
+inline constexpr walker_id_t kInvalidWalker = std::numeric_limits<walker_id_t>::max();
+inline constexpr edge_index_t kInvalidEdgeIndex = std::numeric_limits<edge_index_t>::max();
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_TYPES_H_

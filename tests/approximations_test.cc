@@ -1,0 +1,148 @@
+// Tests for the §3 approximation baselines (edge trimming, hybrid static
+// switch): structural guarantees and the direction of their bias.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/apps/node2vec.h"
+#include "src/baseline/approximations.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(TrimTest, CapsDegreesAndKeepsRealEdges) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateHotspot(1000, 10, 2, 400, 1));
+  auto trimmed_list = TrimHighDegreeVertices(csr, 30, 5);
+  auto trimmed = Csr<EmptyEdgeData>::FromEdgeList(trimmed_list);
+  EXPECT_EQ(trimmed.num_vertices(), csr.num_vertices());
+  for (vertex_id_t v = 0; v < trimmed.num_vertices(); ++v) {
+    EXPECT_LE(trimmed.OutDegree(v), 30u);
+    if (csr.OutDegree(v) <= 30) {
+      EXPECT_EQ(trimmed.OutDegree(v), csr.OutDegree(v));  // untouched
+    } else {
+      EXPECT_EQ(trimmed.OutDegree(v), 30u);  // exactly the cap
+    }
+    for (const auto& adj : trimmed.Neighbors(v)) {
+      EXPECT_TRUE(csr.HasNeighbor(v, adj.neighbor));  // no invented edges
+    }
+  }
+}
+
+TEST(TrimTest, PreservesEdgeData) {
+  auto weighted = AssignUniformWeights(GenerateHotspot(500, 8, 1, 200, 2), 1.0f, 5.0f, 3);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  auto trimmed = Csr<WeightedEdgeData>::FromEdgeList(TrimHighDegreeVertices(csr, 20, 4));
+  for (vertex_id_t v = 0; v < trimmed.num_vertices(); ++v) {
+    for (const auto& adj : trimmed.Neighbors(v)) {
+      auto idx = csr.FindNeighbor(v, adj.neighbor);
+      ASSERT_TRUE(idx.has_value());
+      EXPECT_FLOAT_EQ(adj.data.weight, csr.Neighbors(v)[*idx].data.weight);
+    }
+  }
+}
+
+TEST(HybridTest, SkipsDynamicWorkAtHubs) {
+  // Pure star: every query in the exact walk originates from a center
+  // departure (leaves have a single edge, back to the center, which is the
+  // locally-decidable return edge). The hybrid therefore needs no queries
+  // at all. (On graphs where hub *departures* are rare the hybrid saves
+  // little — with rejection sampling hub visits are already O(1), which is
+  // exactly §3's criticism of these approximations.)
+  const vertex_id_t kLeaves = 60;
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = kLeaves + 1;
+  for (vertex_id_t leaf = 1; leaf <= kLeaves; ++leaf) {
+    list.edges.push_back({0, leaf, {}});
+    list.edges.push_back({leaf, 0, {}});
+  }
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 20};
+  auto run = [&](std::optional<vertex_id_t> threshold) {
+    WalkEngineOptions opts;
+    opts.seed = 7;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+    auto spec = Node2VecTransition(engine.graph(), params);
+    if (threshold.has_value()) {
+      spec = HybridStaticSwitch(std::move(spec), engine.graph(), *threshold);
+    }
+    return engine.Run(spec, Node2VecWalkers(1000, params));
+  };
+  SamplingStats exact = run(std::nullopt);
+  SamplingStats hybrid = run(10);  // center (degree 60) switches to static
+  EXPECT_GT(exact.queries_local + exact.queries_remote, 1000u);
+  EXPECT_EQ(hybrid.queries_local + hybrid.queries_remote, 0u);
+}
+
+TEST(HybridTest, ExactBelowThreshold) {
+  // Threshold above the max degree => identical walks to the exact spec.
+  auto graph = GenerateUniformDegree(300, 8, 6);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 10};
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  for (bool hybrid : {false, true}) {
+    WalkEngineOptions opts;
+    opts.seed = 9;
+    opts.collect_paths = true;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    auto spec = Node2VecTransition(engine.graph(), params);
+    if (hybrid) {
+      spec = HybridStaticSwitch(std::move(spec), engine.graph(), 10000);
+    }
+    engine.Run(spec, Node2VecWalkers(200, params));
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(HybridTest, HubSamplingBecomesStatic) {
+  // Star graph: center 0 with many leaves, leaves interconnected in a ring.
+  // From (prev=leaf, cur=center) exact node2vec with p=0.5 strongly favors
+  // returning; the hybrid (threshold below the center's degree) samples the
+  // next hop uniformly instead.
+  const vertex_id_t kLeaves = 50;
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = kLeaves + 1;
+  auto add = [&](vertex_id_t a, vertex_id_t b) {
+    list.edges.push_back({a, b, {}});
+    list.edges.push_back({b, a, {}});
+  };
+  for (vertex_id_t leaf = 1; leaf <= kLeaves; ++leaf) {
+    add(0, leaf);
+    add(leaf, leaf == kLeaves ? 1 : leaf + 1);
+  }
+  Node2VecParams params{.p = 0.125, .q = 8.0, .walk_length = 2};
+  auto return_rate = [&](bool hybrid) {
+    WalkEngineOptions opts;
+    opts.seed = 11;
+    opts.collect_paths = true;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+    auto spec = Node2VecTransition(engine.graph(), params);
+    if (hybrid) {
+      spec = HybridStaticSwitch(std::move(spec), engine.graph(), 10);
+    }
+    WalkerSpec<> walkers = Node2VecWalkers(20000, params);
+    walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{5}; };
+    engine.Run(spec, walkers);
+    uint64_t returns = 0;
+    uint64_t total = 0;
+    for (const auto& path : engine.TakePaths()) {
+      if (path.size() == 3 && path[1] == 0) {  // leaf -> center -> ?
+        returns += path[2] == path[0] ? 1 : 0;
+        ++total;
+      }
+    }
+    return static_cast<double>(returns) / static_cast<double>(total);
+  };
+  double exact_rate = return_rate(false);
+  double hybrid_rate = return_rate(true);
+  // Exact: return edge has Pd = 8 vs ~0.125 for the rest => dominates.
+  EXPECT_GT(exact_rate, 0.5);
+  // Hybrid at the hub: uniform over 50 leaves => ~2%.
+  EXPECT_LT(hybrid_rate, 0.1);
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,231 @@
+// Tests for the four paper applications: DeepWalk, PPR, Meta-path, node2vec.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/apps/deepwalk.h"
+#include "src/apps/metapath.h"
+#include "src/apps/node2vec.h"
+#include "src/apps/ppr.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(DeepWalkTest, FixedLengthWalks) {
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(100, 8, 1)), opts);
+  DeepWalkParams params{.walk_length = 40};
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(100, params));
+  for (const auto& path : engine.TakePaths()) {
+    EXPECT_EQ(path.size(), 41u);
+  }
+}
+
+TEST(DeepWalkTest, WeightedVariantUsesAlias) {
+  auto weighted = AssignUniformWeights(GenerateUniformDegree(100, 8, 2), 1.0f, 5.0f, 3);
+  WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(weighted),
+                                      WalkEngineOptions{});
+  SamplingStats stats =
+      engine.Run(DeepWalkTransition<WeightedEdgeData>(), DeepWalkWalkers(50, {}));
+  EXPECT_EQ(stats.steps, 50u * 80u);
+  EXPECT_EQ(stats.pd_computations, 0u);  // static walk: no dynamic component
+}
+
+TEST(PprTest, GeometricWalkLengths) {
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(200, 10, 4)), opts);
+  PprParams params{.terminate_prob = 1.0 / 80.0};
+  engine.Run(PprTransition<EmptyEdgeData>(), PprWalkers(4000, params));
+  auto paths = engine.TakePaths();
+  double mean = 0.0;
+  size_t longest = 0;
+  for (const auto& path : paths) {
+    mean += static_cast<double>(path.size() - 1);
+    longest = std::max(longest, path.size() - 1);
+  }
+  mean /= static_cast<double>(paths.size());
+  EXPECT_NEAR(mean, 79.0, 4.0);  // E[len] = (1 - Pt) / Pt = 79
+  // The paper observes walks beyond 1000 steps; at 4000 walkers the 99.99th
+  // percentile (~736) makes >400 overwhelmingly likely.
+  EXPECT_GT(longest, 400u);
+}
+
+TEST(PprTest, ScoreEstimationSumsToOneAndFavorsSourceNeighborhood) {
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(100, 6, 5)), opts);
+  PprParams params{.terminate_prob = 0.2};
+  WalkerSpec<> walkers = PprWalkers(2000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  engine.Run(PprTransition<EmptyEdgeData>(), walkers);
+  auto paths = engine.TakePaths();
+  auto scores = EstimatePprScores(paths, 0);
+  double sum = 0.0;
+  for (const auto& [v, s] : scores) {
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The source itself is the most probable vertex under strong teleport.
+  for (const auto& [v, s] : scores) {
+    EXPECT_LE(s, scores.at(0) + 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(MetaPathTest, SchemesGenerateWithinTypeRange) {
+  auto schemes = GenerateMetaPathSchemes(10, 5, 5, 42);
+  ASSERT_EQ(schemes.size(), 10u);
+  for (const auto& s : schemes) {
+    ASSERT_EQ(s.size(), 5u);
+    for (edge_type_t t : s) {
+      EXPECT_LT(t, 5);
+    }
+  }
+}
+
+TEST(MetaPathTest, WalksFollowAssignedScheme) {
+  auto typed = AssignEdgeTypes(GenerateUniformDegree(300, 12, 6), 3, 7);
+  auto csr = Csr<TypedEdgeData>::FromEdgeList(typed);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<TypedEdgeData, MetaPathWalkerState> engine(std::move(csr), opts);
+  MetaPathParams params;
+  params.schemes = {{0, 1, 2}, {2, 2, 1}};
+  params.walk_length = 9;
+  engine.Run(MetaPathTransition<TypedEdgeData>(params), MetaPathWalkers(200, params));
+  auto paths = engine.TakePaths();
+  const auto& graph = engine.graph();
+
+  // Recover each walker's scheme assignment deterministically (the engine
+  // seeds walker i with HashCombine64(seed, i + 1) and init_state draws one
+  // uint32 from the walker's RNG).
+  for (walker_id_t i = 0; i < paths.size(); ++i) {
+    Rng rng(HashCombine64(engine.options().seed, i + 1));
+    uint32_t scheme_idx = rng.NextUInt32(2);
+    const auto& scheme = params.schemes[scheme_idx];
+    const auto& path = paths[i];
+    for (size_t k = 0; k + 1 < path.size(); ++k) {
+      auto idx = graph.FindNeighbor(path[k], path[k + 1]);
+      ASSERT_TRUE(idx.has_value());
+      edge_type_t type = graph.Neighbors(path[k])[*idx].data.type;
+      EXPECT_EQ(type, scheme[k % scheme.size()])
+          << "walker " << i << " step " << k << " violated its scheme";
+    }
+  }
+}
+
+TEST(MetaPathTest, DeadEndTerminatesWalk) {
+  // Path graph 0 -(type0)- 1 -(type1)- 2, scheme requires type 0 twice:
+  // walkers starting at 0 must stop at vertex 1 (no type-0 edge onward
+  // except back; going back is type 0 though...). Use types so vertex 1 has
+  // no eligible edge: scheme {0, 2}.
+  EdgeList<TypedEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {0}}, {1, 0, {0}}, {1, 2, {1}}, {2, 1, {1}}};
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<TypedEdgeData, MetaPathWalkerState> engine(
+      Csr<TypedEdgeData>::FromEdgeList(list), opts);
+  MetaPathParams params;
+  params.schemes = {{0, 2}};  // step 0 wants type 0, step 1 wants type 2 (absent)
+  params.walk_length = 10;
+  WalkerSpec<MetaPathWalkerState> walkers = MetaPathWalkers(20, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  SamplingStats stats = engine.Run(MetaPathTransition<TypedEdgeData>(params), walkers);
+  EXPECT_GT(stats.fallback_scans, 0u);  // dead end detected via exact fallback
+  for (const auto& path : engine.TakePaths()) {
+    ASSERT_EQ(path.size(), 2u);  // 0 -> 1, then stuck
+    EXPECT_EQ(path[1], 1u);
+  }
+}
+
+TEST(Node2VecTest, TransitionSpecShape) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(50, 6, 8));
+  Node2VecParams params{.p = 2.0, .q = 0.5};
+  auto spec = Node2VecTransition(csr, params);
+  EXPECT_TRUE(spec.IsDynamic());
+  EXPECT_TRUE(spec.IsSecondOrder());
+  // 1/p = 0.5, 1/q = 2: envelope is 2, no outlier folding.
+  EXPECT_FLOAT_EQ(spec.dynamic_upper_bound(0, 6), 2.0f);
+  EXPECT_FLOAT_EQ(spec.dynamic_lower_bound(0, 6), 0.5f);
+  EXPECT_FALSE(static_cast<bool>(spec.outlier_bound));
+}
+
+TEST(Node2VecTest, OutlierFoldingLowersEnvelope) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(50, 6, 9));
+  Node2VecParams params{.p = 0.5, .q = 2.0};  // 1/p = 2 dominates
+  auto spec = Node2VecTransition(csr, params);
+  ASSERT_TRUE(static_cast<bool>(spec.outlier_bound));
+  EXPECT_FLOAT_EQ(spec.dynamic_upper_bound(0, 6), 1.0f);  // max(1, 1/q) = 1
+  Walker<> w;
+  w.step = 3;
+  w.prev = 1;
+  OutlierBound ob = spec.outlier_bound(w, 0);
+  EXPECT_EQ(ob.count, 1u);
+  EXPECT_FLOAT_EQ(ob.height, 2.0f);
+  w.step = 0;
+  EXPECT_EQ(spec.outlier_bound(w, 0).count, 0u);
+}
+
+TEST(Node2VecTest, OutlierDisabledRaisesEnvelope) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(50, 6, 10));
+  Node2VecParams params{.p = 0.5, .q = 2.0, .use_outlier = false};
+  auto spec = Node2VecTransition(csr, params);
+  EXPECT_FALSE(static_cast<bool>(spec.outlier_bound));
+  EXPECT_FLOAT_EQ(spec.dynamic_upper_bound(0, 6), 2.0f);
+}
+
+TEST(Node2VecTest, ReturnFrequencyScalesWithInverseP) {
+  // Low p => frequent immediate backtracking; high p => rare backtracking.
+  auto graph = GenerateUniformDegree(200, 10, 11);
+  auto run = [&](double p) {
+    WalkEngineOptions opts;
+    opts.collect_paths = true;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    Node2VecParams params{.p = p, .q = 1.0, .walk_length = 20};
+    engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(500, params));
+    uint64_t returns = 0;
+    uint64_t moves = 0;
+    for (const auto& path : engine.TakePaths()) {
+      for (size_t k = 2; k < path.size(); ++k) {
+        returns += path[k] == path[k - 2] ? 1 : 0;
+        ++moves;
+      }
+    }
+    return static_cast<double>(returns) / static_cast<double>(moves);
+  };
+  double low_p = run(0.25);   // return weight 4
+  double high_p = run(4.0);   // return weight 0.25
+  EXPECT_GT(low_p, high_p * 4);
+}
+
+TEST(Node2VecTest, WalkLengthsAreExact) {
+  auto graph = GenerateUniformDegree(100, 8, 12);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.num_nodes = 3;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 15};
+  SamplingStats stats =
+      engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(100, params));
+  for (const auto& path : engine.TakePaths()) {
+    EXPECT_EQ(path.size(), 16u);
+  }
+  // Second-order mode: rejected walkers linger, so iterations > walk length.
+  EXPECT_GE(stats.iterations, 15u);
+  EXPECT_GT(stats.queries_remote + stats.queries_local, 0u);
+}
+
+}  // namespace
+}  // namespace knightking

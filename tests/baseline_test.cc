@@ -1,0 +1,151 @@
+// Tests for the Gemini-style full-scan baseline engine.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/apps/deepwalk.h"
+#include "src/apps/node2vec.h"
+#include "src/baseline/full_scan_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(FullScanEngineTest, StaticWalkValidPathsAndLengths) {
+  FullScanEngineOptions opts;
+  opts.collect_paths = true;
+  FullScanEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(100, 8, 1)), opts);
+  DeepWalkParams params{.walk_length = 25};
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(50, params));
+  auto paths = engine.TakePaths();
+  ASSERT_EQ(paths.size(), 50u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.size(), 26u);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(engine.graph().HasNeighbor(path[i], path[i + 1]));
+    }
+  }
+}
+
+// Two-phase static sampling must be exact regardless of the node count.
+TEST(FullScanEngineTest, TwoPhaseStaticMatchesWeights) {
+  auto weighted = AssignUniformWeights(GenerateUniformDegree(60, 8, 2), 1.0f, 5.0f, 3);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  const vertex_id_t start = 17;
+  std::vector<double> weights;
+  std::map<vertex_id_t, size_t> index;
+  for (const auto& adj : csr.Neighbors(start)) {
+    index[adj.neighbor] = weights.size();
+    weights.push_back(adj.data.weight);
+  }
+  for (node_rank_t nodes : {1u, 4u, 7u}) {
+    FullScanEngineOptions opts;
+    opts.num_nodes = nodes;
+    opts.collect_paths = true;
+    FullScanEngine<WeightedEdgeData> engine(
+        Csr<WeightedEdgeData>::FromEdgeList(weighted), opts);
+    WalkerSpec<> walkers;
+    walkers.num_walkers = 50000;
+    walkers.max_steps = 1;
+    walkers.start_vertex = [start](walker_id_t, Rng&) { return start; };
+    engine.Run(DeepWalkTransition<WeightedEdgeData>(), walkers);
+    std::vector<uint64_t> counts(weights.size(), 0);
+    for (const auto& path : engine.TakePaths()) {
+      ++counts[index.at(path[1])];
+    }
+    EXPECT_LT(ChiSquareVsWeights(counts, weights), Chi2Critical999(ChiSquareDof(weights)))
+        << nodes << " nodes";
+  }
+}
+
+TEST(FullScanEngineTest, DynamicScanCountsEveryEdge) {
+  auto graph = GenerateUniformDegree(100, 10, 4);
+  FullScanEngineOptions opts;
+  FullScanEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  TransitionSpec<EmptyEdgeData> transition;
+  transition.dynamic_comp = [](const Walker<>&, vertex_id_t, const AdjUnit<EmptyEdgeData>&,
+                               const std::optional<uint8_t>&) { return 1.0f; };
+  transition.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 20;
+  walkers.max_steps = 10;
+  SamplingStats stats = engine.Run(transition, walkers);
+  EXPECT_EQ(stats.steps, 200u);
+  // Every visited vertex had (about) degree 10 scanned per step; the
+  // configuration model leaves degrees within a couple of the target.
+  EXPECT_NEAR(stats.EdgesPerStep(), 10.0, 1.0);
+  EXPECT_EQ(stats.pd_computations, 0u);
+  EXPECT_GT(stats.scan_computations, 0u);
+}
+
+TEST(FullScanEngineTest, DynamicDistributionIsExact) {
+  auto graph = GenerateUniformDegree(50, 10, 5);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(graph);
+  const vertex_id_t start = 9;
+  auto pd_of = [](vertex_id_t dst) { return 0.1f + 0.9f * (dst % 3 == 0); };
+  std::vector<double> weights;
+  std::map<vertex_id_t, size_t> index;
+  for (const auto& adj : csr.Neighbors(start)) {
+    index[adj.neighbor] = weights.size();
+    weights.push_back(pd_of(adj.neighbor));
+  }
+  FullScanEngineOptions opts;
+  opts.collect_paths = true;
+  FullScanEngine<EmptyEdgeData> engine(std::move(csr), opts);
+  TransitionSpec<EmptyEdgeData> transition;
+  transition.dynamic_comp = [pd_of](const Walker<>&, vertex_id_t, const AdjUnit<EmptyEdgeData>& e,
+                                    const std::optional<uint8_t>&) { return pd_of(e.neighbor); };
+  transition.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 50000;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [start](walker_id_t, Rng&) { return start; };
+  engine.Run(transition, walkers);
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (const auto& path : engine.TakePaths()) {
+    ++counts[index.at(path[1])];
+  }
+  EXPECT_LT(ChiSquareVsWeights(counts, weights), Chi2Critical999(ChiSquareDof(weights)));
+}
+
+TEST(FullScanEngineTest, Node2VecRuns) {
+  auto graph = GenerateUniformDegree(100, 8, 6);
+  FullScanEngineOptions opts;
+  opts.collect_paths = true;
+  FullScanEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 10};
+  SamplingStats stats =
+      engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(50, params));
+  EXPECT_EQ(stats.steps, 500u);
+  EXPECT_NEAR(stats.EdgesPerStep(), 8.0, 1.0);  // full scan cost = degree
+  for (const auto& path : engine.TakePaths()) {
+    EXPECT_EQ(path.size(), 11u);
+  }
+}
+
+TEST(FullScanEngineTest, TerminationProbability) {
+  FullScanEngineOptions opts;
+  opts.collect_paths = true;
+  FullScanEngine<EmptyEdgeData> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(100, 8, 7)), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 4000;
+  walkers.max_steps = 0;
+  walkers.terminate_prob = 0.125;
+  engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  double mean = 0.0;
+  auto paths = engine.TakePaths();
+  for (const auto& path : paths) {
+    mean += static_cast<double>(path.size() - 1);
+  }
+  mean /= static_cast<double>(paths.size());
+  EXPECT_NEAR(mean, 7.0, 0.4);
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,82 @@
+// Directed-graph behaviour: CSR stores directed edges as-is; walks follow
+// out-edges only; node2vec's return-edge logic must stay exact when the
+// reverse edge does not exist (the outlier-locate-miss path).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/apps/node2vec.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/csr.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(DirectedWalkTest, SinkVertexEndsWalk) {
+  // 0 -> 1 -> 2, 2 is a sink.
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {}}, {1, 2, {}}};
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 3;
+  walkers.max_steps = 10;
+  engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  auto paths = engine.TakePaths();
+  EXPECT_EQ(paths[0], (std::vector<vertex_id_t>{0, 1, 2}));
+  EXPECT_EQ(paths[1], (std::vector<vertex_id_t>{1, 2}));
+  EXPECT_EQ(paths[2], (std::vector<vertex_id_t>{2}));
+}
+
+// node2vec on a directed fixture where the walker cannot return (no reverse
+// edge). With p < 1 the outlier is declared but outlier_locate finds no
+// return edge: appendix darts must be rejected, keeping the law exact.
+TEST(DirectedWalkTest, Node2VecExactWithoutReverseEdge) {
+  // 0 -> 1; 1 -> {2, 3, 4}; 2 is adjacent FROM 0? No: make 0 -> 2 as well,
+  // so from (t=0, v=1): 2 has d=1 (0 -> 2 exists), 3 and 4 have d=2.
+  // No vertex has an edge back to 0, and 1 has no edge to 0 (no return).
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1, {}}, {0, 2, {}}, {1, 2, {}}, {1, 3, {}}, {1, 4, {}},
+                // give 2,3,4 somewhere to go so step-2 sampling is well defined
+                {2, 3, {}}, {3, 4, {}}, {4, 2, {}}};
+  double p = 0.5;  // 1/p = 2 -> outlier folding engages
+  double q = 2.0;
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.seed = 19;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  Node2VecParams params{.p = p, .q = q, .walk_length = 2};
+  WalkerSpec<> walkers = Node2VecWalkers(60000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  SamplingStats stats = engine.Run(Node2VecTransition(engine.graph(), params), walkers);
+  EXPECT_GT(stats.outlier_hits, 0u);  // appendix darts occurred ...
+  std::map<vertex_id_t, uint64_t> second_hop;
+  for (const auto& path : engine.TakePaths()) {
+    if (path.size() == 3 && path[1] == 1) {
+      ++second_hop[path[2]];
+    }
+  }
+  // Law over N(1) = {2, 3, 4}: 2 is distance 1 (Pd 1), 3 and 4 distance 2
+  // (Pd 1/q = 0.5). No return edge exists, so nothing at Pd 1/p.
+  std::vector<uint64_t> counts = {second_hop[2], second_hop[3], second_hop[4]};
+  std::vector<double> law = {1.0, 0.5, 0.5};
+  ExpectChiSquareOk(counts, law);
+}
+
+TEST(DirectedWalkTest, AsymmetricNeighborQueries) {
+  // HasNeighbor is directional: 0 -> 1 but not 1 -> 0.
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, {}}};
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  EXPECT_TRUE(csr.HasNeighbor(0, 1));
+  EXPECT_FALSE(csr.HasNeighbor(1, 0));
+}
+
+}  // namespace
+}  // namespace knightking

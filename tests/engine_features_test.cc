@@ -1,0 +1,378 @@
+// Tests for engine infrastructure features: the mailbox transport, parallel
+// node execution, the on_move state hook, phase timing, chunk sizing, the
+// ITS static-sampler option, path I/O, and the non-backtracking walk app.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/no_return.h"
+#include "src/apps/node2vec.h"
+#include "src/engine/mailbox.h"
+#include "src/engine/path_io.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(MailboxTest, DeliversBatchesToDestination) {
+  Mailbox<int> mail(3);
+  mail.Post(0, 2, std::vector<int>{1, 2, 3});
+  mail.Post(1, 2, std::vector<int>{4});
+  mail.Post(2, 2, std::vector<int>{5});
+  mail.Post(0, 1, std::vector<int>{9});
+  mail.Exchange();
+  auto& inbox2 = mail.Inbox(2);
+  EXPECT_EQ(inbox2.size(), 5u);
+  EXPECT_EQ(std::multiset<int>(inbox2.begin(), inbox2.end()),
+            (std::multiset<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(mail.Inbox(1).size(), 1u);
+  EXPECT_TRUE(mail.Inbox(0).empty());
+}
+
+TEST(MailboxTest, ExchangeClearsOutgoing) {
+  Mailbox<int> mail(2);
+  mail.Post(0, 1, 7);
+  mail.Exchange();
+  EXPECT_EQ(mail.Inbox(1).size(), 1u);
+  mail.Exchange();
+  EXPECT_TRUE(mail.Inbox(1).empty());  // nothing pending second time
+}
+
+TEST(MailboxTest, CountsOnlyCrossNodeTraffic) {
+  Mailbox<uint64_t> mail(2);
+  mail.Post(0, 0, std::vector<uint64_t>{1, 2});  // self: not counted
+  mail.Post(0, 1, std::vector<uint64_t>{3, 4, 5});
+  mail.Exchange();
+  EXPECT_EQ(mail.cross_node_messages(), 3u);
+  EXPECT_EQ(mail.cross_node_bytes(), 3 * sizeof(uint64_t));
+  mail.ResetCounters();
+  EXPECT_EQ(mail.cross_node_messages(), 0u);
+}
+
+TEST(MailboxTest, ConcurrentPostsAreSafe) {
+  Mailbox<size_t> mail(4);
+  ThreadPool pool(4);
+  pool.ParallelFor(10000, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      mail.Post(static_cast<node_rank_t>(i % 4), static_cast<node_rank_t>(i % 3), i);
+    }
+  });
+  mail.Exchange();
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (node_rank_t d = 0; d < 4; ++d) {
+    for (size_t v : mail.Inbox(d)) {
+      seen.insert(v);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10000u);
+  EXPECT_EQ(seen.size(), 10000u);  // no loss, no duplication
+}
+
+TEST(ParallelNodesTest, PathsIdenticalToSequentialDriver) {
+  auto graph = GenerateTruncatedPowerLaw(400, 2.0, 4, 80, 17);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 10};
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  for (bool parallel : {false, true}) {
+    WalkEngineOptions opts;
+    opts.num_nodes = 4;
+    opts.parallel_nodes = parallel;
+    opts.collect_paths = true;
+    opts.seed = 11;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(300, params));
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(OnMoveHookTest, AccumulatesTraversedWeights) {
+  struct SumState {
+    double weight_sum = 0.0;
+  };
+  auto weighted = AssignUniformWeights(GenerateUniformDegree(100, 6, 3), 1.0f, 5.0f, 9);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<WeightedEdgeData, SumState> engine(Csr<WeightedEdgeData>::FromEdgeList(weighted),
+                                                opts);
+  // Track the sum of traversed edge weights per walker, and check the final
+  // value against the recorded path.
+  std::vector<double> final_sums(50, 0.0);
+  TransitionSpec<WeightedEdgeData, SumState> transition;
+  transition.on_move = [&final_sums](Walker<SumState>& w, vertex_id_t,
+                                     const AdjUnit<WeightedEdgeData>& e) {
+    w.state.weight_sum += e.data.weight;
+    final_sums[w.id] = w.state.weight_sum;
+  };
+  WalkerSpec<SumState> walkers;
+  walkers.num_walkers = 50;
+  walkers.max_steps = 12;
+  engine.Run(transition, walkers);
+  auto paths = engine.TakePaths();
+  const auto& g = engine.graph();
+  for (walker_id_t i = 0; i < 50; ++i) {
+    double expected = 0.0;
+    for (size_t k = 0; k + 1 < paths[i].size(); ++k) {
+      auto idx = g.FindNeighbor(paths[i][k], paths[i][k + 1]);
+      ASSERT_TRUE(idx.has_value());
+      expected += g.Neighbors(paths[i][k])[*idx].data.weight;
+    }
+    EXPECT_NEAR(final_sums[i], expected, 1e-4) << "walker " << i;
+  }
+}
+
+TEST(PhaseTimesTest, SecondOrderRunPopulatesAllPhases) {
+  auto graph = GenerateUniformDegree(300, 10, 5);
+  WalkEngineOptions opts;
+  opts.num_nodes = 3;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 20};
+  engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(300, params));
+  const EnginePhaseTimes& t = engine.phase_times();
+  EXPECT_GT(t.sample, 0.0);
+  EXPECT_GT(t.respond, 0.0);
+  EXPECT_GT(t.resolve, 0.0);
+  EXPECT_GT(t.exchange, 0.0);
+}
+
+TEST(PhaseTimesTest, StaticRunHasNoQueryPhases) {
+  auto graph = GenerateUniformDegree(300, 10, 6);
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph),
+                                   WalkEngineOptions{});
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 100;
+  walkers.max_steps = 10;
+  engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  const EnginePhaseTimes& t = engine.phase_times();
+  EXPECT_GT(t.sample, 0.0);
+  EXPECT_EQ(t.respond, 0.0);
+  EXPECT_EQ(t.resolve, 0.0);
+}
+
+TEST(ChunkSizeTest, ResultsIndependentOfChunkSize) {
+  auto graph = GenerateUniformDegree(500, 8, 7);
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  for (size_t chunk : {1u, 16u, 4096u}) {
+    WalkEngineOptions opts;
+    opts.workers_per_node = 2;
+    opts.chunk_size = chunk;
+    opts.collect_paths = true;
+    opts.seed = 3;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    WalkerSpec<> walkers;
+    walkers.num_walkers = 400;
+    walkers.max_steps = 10;
+    engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ItsSamplerKindTest, WeightedWalkMatchesAliasDistribution) {
+  auto weighted = AssignUniformWeights(GenerateUniformDegree(60, 8, 8), 1.0f, 5.0f, 2);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  const vertex_id_t start = 4;
+  std::vector<double> weights;
+  std::map<vertex_id_t, size_t> index;
+  for (const auto& adj : csr.Neighbors(start)) {
+    index[adj.neighbor] = weights.size();
+    weights.push_back(adj.data.weight);
+  }
+  WalkEngineOptions opts;
+  opts.sampler_kind = StaticSamplerKind::kIts;
+  opts.collect_paths = true;
+  WalkEngine<WeightedEdgeData> engine(std::move(csr), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 50000;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [start](walker_id_t, Rng&) { return start; };
+  engine.Run(TransitionSpec<WeightedEdgeData>{}, walkers);
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (const auto& path : engine.TakePaths()) {
+    ++counts[index.at(path[1])];
+  }
+  ExpectChiSquareOk(counts, weights);
+}
+
+TEST(NoReturnWalkTest, NeverBacktracks) {
+  auto graph = GenerateUniformDegree(300, 8, 9);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  NoReturnParams params{.walk_length = 30};
+  SamplingStats stats =
+      engine.Run(NoReturnTransition<EmptyEdgeData>(), NoReturnWalkers(300, params));
+  EXPECT_EQ(stats.queries_remote + stats.queries_local, 0u);  // locally decidable
+  for (const auto& path : engine.TakePaths()) {
+    for (size_t k = 2; k < path.size(); ++k) {
+      EXPECT_NE(path[k], path[k - 2]) << "backtracked at step " << k;
+    }
+  }
+}
+
+TEST(NoReturnWalkTest, DeadEndsAtDegreeOneVertex) {
+  // Path graph 0 - 1 - 2: a walker at an endpoint can only backtrack.
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {}}, {1, 0, {}}, {1, 2, {}}, {2, 1, {}}};
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  NoReturnParams params{.walk_length = 10};
+  WalkerSpec<> walkers = NoReturnWalkers(20, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{1}; };
+  engine.Run(NoReturnTransition<EmptyEdgeData>(), walkers);
+  for (const auto& path : engine.TakePaths()) {
+    // 1 -> (0 or 2), then stuck: exactly 2 stops.
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_TRUE(path[1] == 0 || path[1] == 2);
+  }
+}
+
+TEST(NoReturnWalkTest, UniformOverNonReturnEdges) {
+  // Star-plus-ring so vertex 0 has known neighbors; from (prev=1, cur=0) the
+  // walk picks uniformly among N(0) \ {1}.
+  auto graph = GenerateUniformDegree(100, 9, 10);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(graph);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(std::move(csr), opts);
+  NoReturnParams params{.walk_length = 2};
+  WalkerSpec<> walkers = NoReturnWalkers(40000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  engine.Run(NoReturnTransition<EmptyEdgeData>(), walkers);
+  const auto& g = engine.graph();
+  // Condition on first hop = smallest neighbor of 0.
+  vertex_id_t mid = g.Neighbors(0)[0].neighbor;
+  std::map<vertex_id_t, size_t> index;
+  std::vector<double> weights;
+  for (const auto& adj : g.Neighbors(mid)) {
+    index[adj.neighbor] = weights.size();
+    weights.push_back(adj.neighbor == 0 ? 0.0 : 1.0);
+  }
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (const auto& path : engine.TakePaths()) {
+    if (path.size() == 3 && path[1] == mid) {
+      ++counts[index.at(path[2])];
+    }
+  }
+  ExpectChiSquareOk(counts, weights);
+}
+
+TEST(PathIoTest, TextWriteProducesOneLinePerWalk) {
+  std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}, {4}, {5, 6}};
+  std::string file = testing::TempDir() + "/corpus.txt";
+  ASSERT_TRUE(WritePathsText(paths, file));
+  std::FILE* f = std::fopen(file.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[64];
+  int lines = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lines;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 3);
+  std::remove(file.c_str());
+}
+
+TEST(PathIoTest, BinaryRoundTrip) {
+  std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}, {}, {7, 8}, {42}};
+  std::string file = testing::TempDir() + "/corpus.bin";
+  ASSERT_TRUE(WritePathsBinary(paths, file));
+  std::vector<std::vector<vertex_id_t>> loaded;
+  ASSERT_TRUE(ReadPathsBinary(file, &loaded));
+  EXPECT_EQ(loaded, paths);
+  std::remove(file.c_str());
+}
+
+TEST(PathIoTest, ReadRejectsGarbage) {
+  std::string file = testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a corpus", f);
+  std::fclose(f);
+  std::vector<std::vector<vertex_id_t>> loaded;
+  EXPECT_FALSE(ReadPathsBinary(file, &loaded));
+  std::remove(file.c_str());
+}
+
+TEST(PathIoTest, CorpusStats) {
+  std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}, {4}, {5, 6}};
+  CorpusStats stats = ComputeCorpusStats(paths);
+  EXPECT_EQ(stats.walks, 3u);
+  EXPECT_EQ(stats.stops, 6u);
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 2.0);
+}
+
+TEST(PathIoTest, EmptyCorpus) {
+  std::vector<std::vector<vertex_id_t>> paths;
+  CorpusStats stats = ComputeCorpusStats(paths);
+  EXPECT_EQ(stats.walks, 0u);
+  EXPECT_EQ(stats.min_length, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 0.0);
+}
+
+
+TEST(ForceRemoteQueriesTest, SameResultsMoreMessages) {
+  auto graph = GenerateTruncatedPowerLaw(300, 2.0, 4, 60, 21);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 10};
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  uint64_t local_queries[2] = {};
+  uint64_t remote_queries[2] = {};
+  for (int mode = 0; mode < 2; ++mode) {
+    WalkEngineOptions opts;
+    opts.num_nodes = 2;
+    opts.force_remote_queries = mode == 1;
+    opts.collect_paths = true;
+    opts.seed = 5;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    SamplingStats stats =
+        engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(200, params));
+    local_queries[mode] = stats.queries_local;
+    remote_queries[mode] = stats.queries_remote;
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);  // identical sampling decisions
+  EXPECT_GT(local_queries[0], 0u);    // fast path active by default
+  EXPECT_EQ(local_queries[1], 0u);    // fully disabled under the ablation
+  EXPECT_GT(remote_queries[1], remote_queries[0]);
+}
+
+
+TEST(ParallelNodesTest, CombinedConcurrencyModesMatchSequential) {
+  // Everything at once: parallel node threads, per-node worker pools, light
+  // mode, second-order queries. Must be bit-identical to the plain driver.
+  auto graph = GenerateTruncatedPowerLaw(600, 2.0, 4, 100, 23);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 15};
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  for (int mode = 0; mode < 2; ++mode) {
+    WalkEngineOptions opts;
+    opts.num_nodes = 4;
+    opts.parallel_nodes = mode == 1;
+    opts.workers_per_node = mode == 1 ? 3 : 0;
+    opts.enable_light_mode = mode == 1;
+    opts.light_mode_threshold = 50;
+    opts.collect_paths = true;
+    opts.seed = 31;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(500, params));
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,173 @@
+// Randomized engine-vs-baseline equivalence: for randomly generated dynamic
+// transition functions, the rejection-sampling engine and the full-scan
+// baseline must both reproduce the analytic next-hop law Ps * Pd — across
+// payload types, sampler kinds, and first/second order. This is the
+// strongest form of the paper's exactness claim.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/baseline/full_scan_engine.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+// Deterministic pseudo-random Pd in (0, 1], keyed by (fn seed, dst).
+real_t RandomPd(uint64_t fn_seed, vertex_id_t dst) {
+  uint64_t h = HashCombine64(fn_seed, dst);
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return static_cast<real_t>(0.05 + 0.95 * u);
+}
+
+class RandomDynamicLawTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDynamicLawTest, EngineAndBaselineMatchAnalyticLaw) {
+  uint64_t fn_seed = GetParam();
+  auto weighted =
+      AssignUniformWeights(GenerateUniformDegree(60, 12, fn_seed + 100), 1.0f, 5.0f, fn_seed);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  const vertex_id_t start = static_cast<vertex_id_t>(fn_seed % 60);
+
+  std::vector<double> law;
+  std::map<vertex_id_t, size_t> index;
+  for (const auto& adj : csr.Neighbors(start)) {
+    index[adj.neighbor] = law.size();
+    law.push_back(static_cast<double>(adj.data.weight) * RandomPd(fn_seed, adj.neighbor));
+  }
+
+  TransitionSpec<WeightedEdgeData> transition;
+  transition.dynamic_comp = [fn_seed](const Walker<>&, vertex_id_t,
+                                      const AdjUnit<WeightedEdgeData>& e,
+                                      const std::optional<uint8_t>&) {
+    return RandomPd(fn_seed, e.neighbor);
+  };
+  transition.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 1.0f; };
+
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 40000;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [start](walker_id_t, Rng&) { return start; };
+
+  // KnightKing engine.
+  {
+    WalkEngineOptions opts;
+    opts.collect_paths = true;
+    opts.seed = fn_seed * 3 + 1;
+    WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(weighted), opts);
+    engine.Run(transition, walkers);
+    std::vector<uint64_t> counts(law.size(), 0);
+    for (const auto& path : engine.TakePaths()) {
+      ++counts[index.at(path[1])];
+    }
+    ExpectChiSquareOk(counts, law);
+  }
+  // Full-scan baseline.
+  {
+    FullScanEngineOptions opts;
+    opts.collect_paths = true;
+    opts.seed = fn_seed * 7 + 3;
+    FullScanEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(weighted),
+                                            opts);
+    engine.Run(transition, walkers);
+    std::vector<uint64_t> counts(law.size(), 0);
+    for (const auto& path : engine.TakePaths()) {
+      ++counts[index.at(path[1])];
+    }
+    ExpectChiSquareOk(counts, law);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLaws, RandomDynamicLawTest, testing::Range<uint64_t>(1, 7));
+
+TEST(DegenerateDistributionTest, AllZeroStaticWeightsTerminateWalk) {
+  auto graph = GenerateUniformDegree(50, 6, 3);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.sampler_kind = StaticSamplerKind::kAlias;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  TransitionSpec<EmptyEdgeData> transition;
+  transition.static_comp = [](vertex_id_t, const AdjUnit<EmptyEdgeData>&) { return 0.0f; };
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 10;
+  walkers.max_steps = 5;
+  SamplingStats stats = engine.Run(transition, walkers);
+  EXPECT_EQ(stats.steps, 0u);
+  for (const auto& path : engine.TakePaths()) {
+    EXPECT_EQ(path.size(), 1u);
+  }
+}
+
+TEST(DegenerateDistributionTest, ZeroEnvelopeTerminatesWalk) {
+  auto graph = GenerateUniformDegree(50, 6, 4);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  TransitionSpec<EmptyEdgeData> transition;
+  transition.dynamic_comp = [](const Walker<>&, vertex_id_t, const AdjUnit<EmptyEdgeData>&,
+                               const std::optional<uint8_t>&) { return 0.0f; };
+  transition.dynamic_upper_bound = [](vertex_id_t, vertex_id_t) { return 0.0f; };
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 10;
+  walkers.max_steps = 5;
+  SamplingStats stats = engine.Run(transition, walkers);
+  EXPECT_EQ(stats.steps, 0u);
+}
+
+TEST(DeploymentTest, RandomStartDistributionUsesDeployRng) {
+  auto graph = GenerateUniformDegree(1000, 6, 5);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 2000;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [](walker_id_t, Rng& rng) {
+    return static_cast<vertex_id_t>(rng.NextUInt64(1000));
+  };
+  engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  std::map<vertex_id_t, int> starts;
+  for (const auto& path : engine.TakePaths()) {
+    ++starts[path.front()];
+  }
+  // 2000 draws over 1000 vertices: a healthy spread, not a constant.
+  EXPECT_GT(starts.size(), 500u);
+}
+
+TEST(StatsTest, MergeAccumulatesAllFields) {
+  SamplingStats a;
+  a.steps = 1;
+  a.trials = 2;
+  a.pd_computations = 3;
+  a.scan_computations = 4;
+  a.pre_accepts = 5;
+  a.outlier_hits = 6;
+  a.queries_remote = 7;
+  a.queries_local = 8;
+  a.walker_moves_remote = 9;
+  a.fallback_scans = 10;
+  SamplingStats b = a;
+  a.Merge(b);
+  EXPECT_EQ(a.steps, 2u);
+  EXPECT_EQ(a.trials, 4u);
+  EXPECT_EQ(a.pd_computations, 6u);
+  EXPECT_EQ(a.scan_computations, 8u);
+  EXPECT_EQ(a.pre_accepts, 10u);
+  EXPECT_EQ(a.outlier_hits, 12u);
+  EXPECT_EQ(a.queries_remote, 14u);
+  EXPECT_EQ(a.queries_local, 16u);
+  EXPECT_EQ(a.walker_moves_remote, 18u);
+  EXPECT_EQ(a.fallback_scans, 20u);
+  EXPECT_DOUBLE_EQ(a.EdgesPerStep(), 7.0);  // (6 + 8) / 2
+  EXPECT_DOUBLE_EQ(a.TrialsPerStep(), 2.0);
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,272 @@
+// Tests for the extension features: custom termination criteria, the
+// degree-climbing walk (typed query payloads), connected components, and
+// the SkipGram embedding trainer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/climber.h"
+#include "src/apps/deepwalk.h"
+#include "src/embedding/skipgram.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/components.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(TerminateIfTest, WalkEndsOnAbsorbingVertices) {
+  // Walk stops as soon as it reaches a vertex id < 10 (absorbing set).
+  auto graph = GenerateUniformDegree(200, 8, 1);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 150;
+  walkers.max_steps = 50;
+  walkers.start_vertex = [](walker_id_t i, Rng&) {
+    return static_cast<vertex_id_t>(50 + i % 100);  // start outside the set
+  };
+  walkers.terminate_if = [](const Walker<>& w) { return w.cur < 10; };
+  engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  for (const auto& path : engine.TakePaths()) {
+    for (size_t k = 0; k + 1 < path.size(); ++k) {
+      EXPECT_GE(path[k], 10u) << "walk continued from an absorbing vertex";
+    }
+  }
+}
+
+TEST(TerminateIfTest, AppliesAtDeployment) {
+  auto graph = GenerateUniformDegree(50, 6, 2);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 20;
+  walkers.max_steps = 10;
+  walkers.terminate_if = [](const Walker<>&) { return true; };  // stop immediately
+  SamplingStats stats = engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers);
+  EXPECT_EQ(stats.steps, 0u);
+  for (const auto& path : engine.TakePaths()) {
+    EXPECT_EQ(path.size(), 1u);
+  }
+}
+
+TEST(ClimberTest, PrefersHigherDegreeNeighbors) {
+  // On a skewed graph, the climber should sit on higher-degree vertices
+  // than an unbiased walk.
+  auto graph = GenerateTruncatedPowerLaw(2000, 2.0, 3, 300, 3);
+  auto run_mean_degree = [&](bool climber) {
+    WalkEngineOptions opts;
+    opts.collect_paths = true;
+    opts.seed = 5;
+    WalkEngine<EmptyEdgeData, ClimberState, uint32_t> engine(
+        Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    ClimberParams params{.demotion = 0.1f, .walk_length = 20};
+    if (climber) {
+      engine.Run(ClimberTransition(engine.graph(), params), ClimberWalkers(500, params));
+    } else {
+      engine.Run(TransitionSpec<EmptyEdgeData, ClimberState, uint32_t>{},
+                 ClimberWalkers(500, params));
+    }
+    const auto& g = engine.graph();
+    double sum = 0.0;
+    uint64_t n = 0;
+    for (const auto& path : engine.TakePaths()) {
+      for (vertex_id_t v : path) {
+        sum += g.OutDegree(v);
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  double climber_deg = run_mean_degree(true);
+  double unbiased_deg = run_mean_degree(false);
+  EXPECT_GT(climber_deg, unbiased_deg * 1.15);
+}
+
+TEST(ClimberTest, SecondHopLawWithDegreeQueries) {
+  // Analytic check of the climber's Pd on a crafted graph. Star center 0
+  // has high degree; leaves have low degree. From (prev=leaf, cur=mid),
+  // uphill edges get Pd 1 and downhill Pd = demotion.
+  //
+  // Graph: chain 0-1 plus 1-{2,3}, 2-{4,5,6} (deg(2)=4 incl. 1), etc.
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 8;
+  auto add = [&](vertex_id_t a, vertex_id_t b) {
+    list.edges.push_back({a, b, {}});
+    list.edges.push_back({b, a, {}});
+  };
+  add(0, 1);           // deg(0) = 1
+  add(1, 2);           // deg(1) = 3
+  add(1, 3);           // deg(3) = 1
+  add(2, 4);
+  add(2, 5);
+  add(2, 6);           // deg(2) = 4
+  // From walker path 0 -> 1 (prev_degree = deg(0) = 1):
+  //   candidates at 1: {0 (deg 1, >=1: Pd 1), 2 (deg 4: Pd 1), 3 (deg 1: Pd 1)}
+  // All uphill-or-equal: uniform. Instead condition on path 3 -> 1
+  // (prev_degree = deg(3) = 1): same. Use start at 2: path 2 -> 1
+  // (prev_degree = deg(2) = 4): candidates {0: deg 1 -> demotion,
+  // 2: deg 4 -> 1, 3: deg 1 -> demotion}.
+  const real_t demotion = 0.2f;
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.num_nodes = 3;  // exercise remote degree queries
+  WalkEngine<EmptyEdgeData, ClimberState, uint32_t> engine(
+      Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  ClimberParams params{.demotion = demotion, .walk_length = 2};
+  WalkerSpec<ClimberState> walkers = ClimberWalkers(60000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{2}; };
+  SamplingStats stats = engine.Run(ClimberTransition(engine.graph(), params), walkers);
+  EXPECT_GT(stats.queries_remote, 0u);
+  std::map<vertex_id_t, uint64_t> second_hop;
+  for (const auto& path : engine.TakePaths()) {
+    if (path.size() == 3 && path[1] == 1) {
+      ++second_hop[path[2]];
+    }
+  }
+  // Law over N(1) = {0, 2, 3}: {demotion, 1, demotion}.
+  std::vector<uint64_t> counts = {second_hop[0], second_hop[2], second_hop[3]};
+  std::vector<double> law = {demotion, 1.0, demotion};
+  ExpectChiSquareOk(counts, law);
+}
+
+TEST(ComponentsTest, SingleComponentGraph) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(500, 8, 4));
+  ComponentsResult cc = ConnectedComponents(csr);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_EQ(cc.largest_size, 500u);
+}
+
+TEST(ComponentsTest, CountsIsolatedVertices) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1, {}}, {1, 0, {}}, {2, 3, {}}, {3, 2, {}}};
+  // Vertices 4 and 5 are isolated.
+  ComponentsResult cc = ConnectedComponents(Csr<EmptyEdgeData>::FromEdgeList(list));
+  EXPECT_EQ(cc.num_components, 4u);
+  EXPECT_EQ(cc.largest_size, 2u);
+  EXPECT_EQ(cc.label[0], cc.label[1]);
+  EXPECT_EQ(cc.label[2], cc.label[3]);
+  EXPECT_NE(cc.label[0], cc.label[2]);
+  EXPECT_NE(cc.label[4], cc.label[5]);
+}
+
+TEST(ComponentsTest, LabelsAreComponentMinima) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 5;
+  list.edges = {{1, 4, {}}, {4, 1, {}}, {2, 3, {}}, {3, 2, {}}};
+  ComponentsResult cc = ConnectedComponents(Csr<EmptyEdgeData>::FromEdgeList(list));
+  EXPECT_EQ(cc.label[1], 1u);
+  EXPECT_EQ(cc.label[4], 1u);
+  EXPECT_EQ(cc.label[2], 2u);
+  EXPECT_EQ(cc.label[3], 2u);
+  EXPECT_EQ(cc.label[0], 0u);
+}
+
+// Two dense clusters joined by a single bridge: embeddings must place
+// same-cluster pairs closer than cross-cluster pairs.
+TEST(SkipGramTest, EmbeddingsSeparateCommunities) {
+  const vertex_id_t kHalf = 30;
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = kHalf * 2;
+  Rng rng(7);
+  auto add = [&](vertex_id_t a, vertex_id_t b) {
+    list.edges.push_back({a, b, {}});
+    list.edges.push_back({b, a, {}});
+  };
+  // Dense intra-cluster edges.
+  for (vertex_id_t i = 0; i < kHalf; ++i) {
+    for (vertex_id_t j = i + 1; j < kHalf; ++j) {
+      if (rng.NextBernoulli(0.4)) {
+        add(i, j);
+        add(i + kHalf, j + kHalf);
+      }
+    }
+  }
+  add(0, kHalf);  // single bridge
+
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(list), opts);
+  DeepWalkParams dwp{.walk_length = 40};
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(kHalf * 2 * 10, dwp));
+  auto corpus = engine.TakePaths();
+
+  SkipGramParams sgp;
+  sgp.dimensions = 32;
+  sgp.epochs = 2;
+  sgp.seed = 11;
+  SkipGramModel model(kHalf * 2, sgp);
+  model.Train(corpus);
+
+  double intra = 0.0;
+  double inter = 0.0;
+  int samples = 0;
+  Rng pick(13);
+  for (int i = 0; i < 200; ++i) {
+    auto a = static_cast<vertex_id_t>(pick.NextUInt64(kHalf));
+    auto b = static_cast<vertex_id_t>(pick.NextUInt64(kHalf));
+    if (a == b) {
+      continue;
+    }
+    intra += model.Cosine(a, b) + model.Cosine(a + kHalf, b + kHalf);
+    inter += model.Cosine(a, b + kHalf) + model.Cosine(a + kHalf, b);
+    ++samples;
+  }
+  ASSERT_GT(samples, 0);
+  EXPECT_GT(intra / samples, inter / samples + 0.2)
+      << "intra " << intra / samples << " vs inter " << inter / samples;
+}
+
+TEST(SkipGramTest, MostSimilarReturnsOrderedNeighbors) {
+  SkipGramParams params;
+  params.dimensions = 8;
+  SkipGramModel model(10, params);
+  std::vector<std::vector<vertex_id_t>> corpus = {{0, 1, 0, 1, 0, 1, 2, 3, 2, 3}};
+  model.Train(corpus);
+  auto top = model.MostSimilar(0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].first, top[1].first);
+  EXPECT_GE(top[1].first, top[2].first);
+}
+
+TEST(SkipGramTest, SaveLoadRoundTrip) {
+  SkipGramParams params;
+  params.dimensions = 16;
+  SkipGramModel model(20, params);
+  std::vector<std::vector<vertex_id_t>> corpus = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  model.Train(corpus);
+  std::string file = testing::TempDir() + "/emb.bin";
+  ASSERT_TRUE(model.Save(file));
+  SkipGramModel loaded(1, SkipGramParams{});
+  ASSERT_TRUE(SkipGramModel::Load(file, &loaded));
+  EXPECT_EQ(loaded.vocab_size(), 20u);
+  EXPECT_EQ(loaded.dimensions(), 16u);
+  for (vertex_id_t v : {0u, 7u, 19u}) {
+    auto a = model.Embedding(v);
+    auto b = loaded.Embedding(v);
+    for (size_t d = 0; d < a.size(); ++d) {
+      EXPECT_FLOAT_EQ(a[d], b[d]);
+    }
+  }
+  std::remove(file.c_str());
+}
+
+TEST(SkipGramTest, EmptyCorpusIsNoOp) {
+  SkipGramParams params;
+  params.dimensions = 4;
+  SkipGramModel model(5, params);
+  std::vector<std::vector<vertex_id_t>> corpus;
+  model.Train(corpus);  // must not crash
+  EXPECT_EQ(model.Embedding(0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace knightking

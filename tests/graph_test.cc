@@ -1,0 +1,343 @@
+// Unit tests for src/graph: edge lists, CSR construction, partitioning,
+// generators, annotation, datasets, BFS.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/graph/annotate.h"
+#include "src/graph/bfs.h"
+#include "src/graph/csr.h"
+#include "src/graph/datasets.h"
+#include "src/graph/edge_list.h"
+#include "src/graph/generators.h"
+#include "src/graph/partition.h"
+
+namespace knightking {
+namespace {
+
+EdgeList<EmptyEdgeData> TriangleWithTail() {
+  // 0-1, 1-2, 2-0 triangle plus 2-3 tail, undirected (doubled).
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1, {}}, {1, 0, {}}, {1, 2, {}}, {2, 1, {}},
+                {2, 0, {}}, {0, 2, {}}, {2, 3, {}}, {3, 2, {}}};
+  return list;
+}
+
+TEST(EdgeListTest, FitVertexCount) {
+  EdgeList<EmptyEdgeData> list;
+  list.edges = {{0, 5, {}}, {3, 2, {}}};
+  list.FitVertexCount();
+  EXPECT_EQ(list.num_vertices, 6u);
+}
+
+TEST(EdgeListTest, MakeUndirectedDoubles) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {}}, {1, 2, {}}};
+  list.MakeUndirected();
+  ASSERT_EQ(list.edges.size(), 4u);
+  EXPECT_EQ(list.edges[2].src, 1u);
+  EXPECT_EQ(list.edges[2].dst, 0u);
+}
+
+TEST(EdgeListTest, TextRoundTripWeighted) {
+  EdgeList<WeightedEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {2.5f}}, {1, 2, {0.25f}}};
+  std::string path = testing::TempDir() + "/edges.txt";
+  ASSERT_TRUE(WriteEdgeListText(list, path));
+  EdgeList<WeightedEdgeData> loaded;
+  ASSERT_TRUE(ReadEdgeListText(path, &loaded));
+  ASSERT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.edges[0].src, 0u);
+  EXPECT_EQ(loaded.edges[0].dst, 1u);
+  EXPECT_FLOAT_EQ(loaded.edges[0].data.weight, 2.5f);
+  EXPECT_FLOAT_EQ(loaded.edges[1].data.weight, 0.25f);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, BinaryRoundTripTyped) {
+  EdgeList<WeightedTypedEdgeData> list;
+  list.num_vertices = 10;
+  list.edges = {{0, 1, {1.5f, 3}}, {4, 9, {2.0f, 1}}};
+  std::string path = testing::TempDir() + "/edges.bin";
+  ASSERT_TRUE(WriteEdgeListBinary(list, path));
+  EdgeList<WeightedTypedEdgeData> loaded;
+  ASSERT_TRUE(ReadEdgeListBinary(path, &loaded));
+  EXPECT_EQ(loaded.num_vertices, 10u);
+  ASSERT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.edges[0], list.edges[0]);
+  EXPECT_EQ(loaded.edges[1], list.edges[1]);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, BinaryRejectsWrongPayload) {
+  EdgeList<EmptyEdgeData> list = TriangleWithTail();
+  std::string path = testing::TempDir() + "/edges2.bin";
+  ASSERT_TRUE(WriteEdgeListBinary(list, path));
+  EdgeList<WeightedEdgeData> loaded;
+  EXPECT_FALSE(ReadEdgeListBinary(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(CsrTest, BuildsCorrectAdjacency) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(TriangleWithTail());
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 8u);
+  EXPECT_EQ(csr.OutDegree(0), 2u);
+  EXPECT_EQ(csr.OutDegree(2), 3u);
+  EXPECT_EQ(csr.OutDegree(3), 1u);
+  auto n2 = csr.Neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0].neighbor, 0u);  // sorted
+  EXPECT_EQ(n2[1].neighbor, 1u);
+  EXPECT_EQ(n2[2].neighbor, 3u);
+}
+
+TEST(CsrTest, FindNeighbor) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(TriangleWithTail());
+  EXPECT_TRUE(csr.HasNeighbor(0, 1));
+  EXPECT_TRUE(csr.HasNeighbor(2, 3));
+  EXPECT_FALSE(csr.HasNeighbor(0, 3));
+  EXPECT_FALSE(csr.HasNeighbor(3, 0));
+  auto idx = csr.FindNeighbor(2, 1);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(CsrTest, IsolatedVertex) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {}}, {1, 0, {}}};
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  EXPECT_EQ(csr.OutDegree(2), 0u);
+  EXPECT_TRUE(csr.Neighbors(2).empty());
+}
+
+TEST(CsrTest, PreservesEdgeData) {
+  EdgeList<WeightedEdgeData> list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, {3.5f}}, {1, 0, {3.5f}}};
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(list);
+  EXPECT_FLOAT_EQ(csr.Neighbors(0)[0].data.weight, 3.5f);
+}
+
+TEST(CsrTest, DegreeStats) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(TriangleWithTail());
+  RunningStats stats = csr.DegreeStats();
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);  // degrees 2,2,3,1
+}
+
+TEST(PartitionTest, CoversAllVerticesContiguously) {
+  std::vector<vertex_id_t> degrees(100, 10);
+  Partition p = Partition::FromDegrees(degrees, 4);
+  EXPECT_EQ(p.num_nodes(), 4u);
+  vertex_id_t covered = 0;
+  for (node_rank_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(p.Begin(n), covered);
+    covered = p.End(n);
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(PartitionTest, BalancesUniformDegrees) {
+  std::vector<vertex_id_t> degrees(1000, 7);
+  Partition p = Partition::FromDegrees(degrees, 8);
+  for (node_rank_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(static_cast<double>(p.OwnedCount(n)), 125.0, 2.0);
+  }
+}
+
+TEST(PartitionTest, BalancesSkewedDegrees) {
+  // One huge vertex followed by many tiny ones: the huge one should get its
+  // own (small-by-count) node.
+  std::vector<vertex_id_t> degrees(1001, 1);
+  degrees[0] = 10000;
+  Partition p = Partition::FromDegrees(degrees, 2);
+  EXPECT_EQ(p.OwnerOf(0), 0u);
+  EXPECT_LT(p.OwnedCount(0), 100u);
+  // Total work: 10000 + 1000 + 1001*1(vertex weight) ~ 12001; node 0 holds
+  // vertex 0 with work >= 10001, so node 1 gets nearly all the vertices.
+  EXPECT_GT(p.OwnedCount(1), 900u);
+}
+
+TEST(PartitionTest, OwnerOfMatchesRanges) {
+  std::vector<vertex_id_t> degrees(50, 3);
+  Partition p = Partition::FromDegrees(degrees, 7);
+  for (vertex_id_t v = 0; v < 50; ++v) {
+    node_rank_t owner = p.OwnerOf(v);
+    EXPECT_TRUE(p.Owns(owner, v));
+  }
+}
+
+TEST(PartitionTest, MoreNodesThanVertices) {
+  std::vector<vertex_id_t> degrees(3, 1);
+  Partition p = Partition::FromDegrees(degrees, 8);
+  vertex_id_t total = 0;
+  for (node_rank_t n = 0; n < 8; ++n) {
+    total += p.OwnedCount(n);
+  }
+  EXPECT_EQ(total, 3u);
+  for (vertex_id_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(p.Owns(p.OwnerOf(v), v));
+  }
+}
+
+TEST(GeneratorTest, UniformDegreeHitsTarget) {
+  auto list = GenerateUniformDegree(1000, 20, 42);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  RunningStats stats = csr.DegreeStats();
+  EXPECT_NEAR(stats.mean(), 20.0, 1.0);
+  // Configuration model keeps degrees tight around the target.
+  EXPECT_LT(stats.stddev(), 3.0);
+}
+
+TEST(GeneratorTest, GraphIsSymmetric) {
+  auto list = GenerateTruncatedPowerLaw(500, 2.0, 2, 100, 7);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+    for (const auto& adj : csr.Neighbors(v)) {
+      EXPECT_TRUE(csr.HasNeighbor(adj.neighbor, v))
+          << v << " -> " << adj.neighbor << " missing reverse";
+    }
+  }
+}
+
+TEST(GeneratorTest, NoSelfLoops) {
+  for (auto list : {GenerateUniformDegree(300, 10, 1),
+                    GenerateTruncatedPowerLaw(300, 2.1, 2, 50, 2),
+                    GenerateRmat(8, 8, 0.57, 0.19, 0.19, 3)}) {
+    for (const auto& e : list.edges) {
+      EXPECT_NE(e.src, e.dst);
+    }
+  }
+}
+
+TEST(GeneratorTest, PowerLawSkewGrowsWithCap) {
+  auto low = GenerateTruncatedPowerLaw(5000, 2.0, 4, 100, 5);
+  auto high = GenerateTruncatedPowerLaw(5000, 2.0, 4, 4000, 5);
+  auto var_low = Csr<EmptyEdgeData>::FromEdgeList(low).DegreeStats().variance();
+  auto var_high = Csr<EmptyEdgeData>::FromEdgeList(high).DegreeStats().variance();
+  EXPECT_GT(var_high, var_low * 5);
+}
+
+TEST(GeneratorTest, HotspotCreatesHighDegreeVertices) {
+  auto list = GenerateHotspot(2000, 10, 3, 500, 9);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  for (vertex_id_t h = 0; h < 3; ++h) {
+    EXPECT_GE(csr.OutDegree(h), 500u);
+  }
+  RunningStats stats = csr.DegreeStats();
+  EXPECT_LT(stats.mean(), 20.0);
+}
+
+TEST(GeneratorTest, RmatHasNoDuplicateEdges) {
+  auto list = GenerateRmat(8, 4, 0.57, 0.19, 0.19, 11);
+  std::set<std::pair<vertex_id_t, vertex_id_t>> seen;
+  for (const auto& e : list.edges) {
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(GeneratorTest, ErdosRenyiEdgeCount) {
+  auto list = GenerateErdosRenyi(1000, 5000, 13);
+  EXPECT_EQ(list.edges.size(), 10000u);  // doubled
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateTruncatedPowerLaw(200, 2.0, 2, 50, 99);
+  auto b = GenerateTruncatedPowerLaw(200, 2.0, 2, 50, 99);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(AnnotateTest, UniformWeightsInRangeAndSymmetric) {
+  auto base = GenerateUniformDegree(500, 10, 21);
+  auto weighted = AssignUniformWeights(base, 1.0f, 5.0f, 77);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+    for (const auto& adj : csr.Neighbors(v)) {
+      EXPECT_GE(adj.data.weight, 1.0f);
+      EXPECT_LT(adj.data.weight, 5.0f);
+      // Symmetric: the reverse edge carries the identical weight.
+      auto rev = csr.FindNeighbor(adj.neighbor, v);
+      ASSERT_TRUE(rev.has_value());
+      EXPECT_FLOAT_EQ(csr.Neighbors(adj.neighbor)[*rev].data.weight, adj.data.weight);
+    }
+  }
+}
+
+TEST(AnnotateTest, PowerLawWeightsRespectMax) {
+  auto base = GenerateUniformDegree(300, 10, 22);
+  auto weighted = AssignPowerLawWeights(base, 64.0f, 2.0, 5);
+  float max_seen = 0.0f;
+  for (const auto& e : weighted.edges) {
+    EXPECT_GE(e.data.weight, 1.0f);
+    EXPECT_LE(e.data.weight, 64.0f);
+    max_seen = std::max(max_seen, e.data.weight);
+  }
+  EXPECT_GT(max_seen, 8.0f);  // the tail actually gets used
+}
+
+TEST(AnnotateTest, EdgeTypesSymmetricAndInRange) {
+  auto base = GenerateUniformDegree(400, 8, 23);
+  auto typed = AssignEdgeTypes(base, 5, 31);
+  auto csr = Csr<TypedEdgeData>::FromEdgeList(typed);
+  std::set<edge_type_t> seen;
+  for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+    for (const auto& adj : csr.Neighbors(v)) {
+      EXPECT_LT(adj.data.type, 5);
+      seen.insert(adj.data.type);
+      auto rev = csr.FindNeighbor(adj.neighbor, v);
+      ASSERT_TRUE(rev.has_value());
+      EXPECT_EQ(csr.Neighbors(adj.neighbor)[*rev].data.type, adj.data.type);
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all types occur
+}
+
+TEST(DatasetTest, TwitterSimIsMuchMoreSkewedThanFriendsterSim) {
+  auto fr = Csr<EmptyEdgeData>::FromEdgeList(
+      BuildTinySimDataset(SimDataset::kFriendsterSim, 1));
+  auto tw = Csr<EmptyEdgeData>::FromEdgeList(
+      BuildTinySimDataset(SimDataset::kTwitterSim, 1));
+  EXPECT_GT(tw.DegreeStats().variance(), fr.DegreeStats().variance() * 10);
+}
+
+TEST(DatasetTest, AllDatasetsBuild) {
+  for (int i = 0; i < kNumSimDatasets; ++i) {
+    auto ds = static_cast<SimDataset>(i);
+    auto list = BuildTinySimDataset(ds, 2);
+    EXPECT_GT(list.edges.size(), 1000u) << SimDatasetName(ds);
+  }
+}
+
+TEST(BfsTest, ReachesAllOnConnectedGraph) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(TriangleWithTail());
+  BfsResult result = Bfs(csr, 0);
+  EXPECT_EQ(result.reached, 4u);
+  EXPECT_EQ(result.parent[0], 0u);
+  EXPECT_EQ(result.parent[3], 2u);
+  // Levels: {0}, {1,2}, {3}
+  ASSERT_EQ(result.frontier_history.size(), 3u);
+  EXPECT_EQ(result.frontier_history[0], 1u);
+  EXPECT_EQ(result.frontier_history[1], 2u);
+  EXPECT_EQ(result.frontier_history[2], 1u);
+}
+
+TEST(BfsTest, DisconnectedComponentUnreached) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1, {}}, {1, 0, {}}, {2, 3, {}}, {3, 2, {}}};
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  BfsResult result = Bfs(csr, 0);
+  EXPECT_EQ(result.reached, 2u);
+  EXPECT_EQ(result.parent[2], kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace knightking

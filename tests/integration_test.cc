@@ -1,0 +1,272 @@
+// Cross-module integration tests: the KnightKing engine's rejection
+// sampling must reproduce, exactly, the distributions that (a) the
+// analytical transition probabilities prescribe and (b) the full-scan
+// baseline samples — including second-order node2vec with distributed state
+// queries, and all combinations of the lower-bound / outlier optimizations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/apps/metapath.h"
+#include "src/apps/node2vec.h"
+#include "src/baseline/full_scan_engine.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+// A fixture graph where the node2vec second-step distribution from
+// (t=0, v=1) is analytically known. N(1) = {0, 2, 4, 5}:
+//   0 -> return edge      (Pd = 1/p)
+//   2 -> adjacent to 0    (Pd = 1)
+//   4, 5 -> distance 2    (Pd = 1/q)
+EdgeList<EmptyEdgeData> Node2VecFixture() {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 6;
+  auto add = [&](vertex_id_t a, vertex_id_t b) {
+    list.edges.push_back({a, b, {}});
+    list.edges.push_back({b, a, {}});
+  };
+  add(0, 1);
+  add(0, 2);
+  add(0, 3);
+  add(1, 2);
+  add(1, 4);
+  add(1, 5);
+  return list;
+}
+
+// Runs node2vec(walk_length=2) from vertex 0 and returns counts of the
+// second hop conditioned on the first hop being vertex 1.
+template <typename Engine>
+std::map<vertex_id_t, uint64_t> SecondHopCounts(Engine& engine, const Node2VecParams& params,
+                                                walker_id_t num_walkers) {
+  WalkerSpec<> walkers = Node2VecWalkers(num_walkers, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  engine.Run(Node2VecTransition(engine.graph(), params), walkers);
+  std::map<vertex_id_t, uint64_t> counts;
+  for (const auto& path : engine.TakePaths()) {
+    if (path.size() == 3 && path[1] == 1) {
+      ++counts[path[2]];
+    }
+  }
+  return counts;
+}
+
+void ExpectMatchesNode2VecLaw(const std::map<vertex_id_t, uint64_t>& counts, double p,
+                              double q) {
+  // Order: 0 (return), 2 (common neighbor), 4, 5 (distance 2).
+  std::vector<double> weights = {1.0 / p, 1.0, 1.0 / q, 1.0 / q};
+  std::vector<uint64_t> observed(4, 0);
+  std::map<vertex_id_t, size_t> index{{0, 0}, {2, 1}, {4, 2}, {5, 3}};
+  uint64_t total = 0;
+  for (const auto& [v, c] : counts) {
+    ASSERT_TRUE(index.count(v)) << "impossible second hop " << v;
+    observed[index[v]] = c;
+    total += c;
+  }
+  ASSERT_GT(total, 3000u) << "not enough conditioned samples";
+  EXPECT_LT(ChiSquareVsWeights(observed, weights), Chi2Critical999(3))
+      << "p=" << p << " q=" << q;
+}
+
+class Node2VecLawTest : public testing::TestWithParam<std::tuple<double, double, bool, bool>> {};
+
+TEST_P(Node2VecLawTest, EngineMatchesAnalyticDistribution) {
+  auto [p, q, use_lower, use_outlier] = GetParam();
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.seed = 17;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(Node2VecFixture()), opts);
+  Node2VecParams params{.p = p,
+                        .q = q,
+                        .walk_length = 2,
+                        .use_lower_bound = use_lower,
+                        .use_outlier = use_outlier};
+  auto counts = SecondHopCounts(engine, params, 40000);
+  ExpectMatchesNode2VecLaw(counts, p, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HyperParamsAndOptimizations, Node2VecLawTest,
+    testing::Values(std::make_tuple(2.0, 0.5, true, true),
+                    std::make_tuple(2.0, 0.5, false, false),
+                    std::make_tuple(0.5, 2.0, true, true),   // outlier folding active
+                    std::make_tuple(0.5, 2.0, false, true),  // outlier only
+                    std::make_tuple(0.5, 2.0, true, false),  // lower bound only
+                    std::make_tuple(0.5, 2.0, false, false),  // naive
+                    std::make_tuple(1.0, 1.0, true, true),
+                    std::make_tuple(4.0, 0.25, true, true),
+                    std::make_tuple(0.25, 4.0, true, true)));
+
+TEST(Node2VecBaselineLawTest, FullScanMatchesAnalyticDistribution) {
+  for (auto [p, q] : {std::pair{2.0, 0.5}, std::pair{0.5, 2.0}}) {
+    FullScanEngineOptions opts;
+    opts.collect_paths = true;
+    opts.seed = 23;
+    FullScanEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(Node2VecFixture()),
+                                         opts);
+    Node2VecParams params{.p = p, .q = q, .walk_length = 2};
+    auto counts = SecondHopCounts(engine, params, 40000);
+    ExpectMatchesNode2VecLaw(counts, p, q);
+  }
+}
+
+// Weighted (biased) node2vec: the second-hop law becomes Ps * Pd.
+TEST(Node2VecWeightedLawTest, EngineMatchesWeightedLaw) {
+  auto weighted = AssignUniformWeights(Node2VecFixture(), 1.0f, 5.0f, 99);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
+  double p = 0.5;
+  double q = 2.0;
+  // Gather Ps for N(1) = {0, 2, 4, 5}.
+  std::map<vertex_id_t, double> ps;
+  for (const auto& adj : csr.Neighbors(1)) {
+    ps[adj.neighbor] = adj.data.weight;
+  }
+  std::vector<double> weights = {ps[0] / p, ps[2] * 1.0, ps[4] / q, ps[5] / q};
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.seed = 31;
+  WalkEngine<WeightedEdgeData> engine(std::move(csr), opts);
+  Node2VecParams params{.p = p, .q = q, .walk_length = 2};
+  auto counts = SecondHopCounts(engine, params, 60000);
+  std::vector<uint64_t> observed(4, 0);
+  std::map<vertex_id_t, size_t> index{{0, 0}, {2, 1}, {4, 2}, {5, 3}};
+  for (const auto& [v, c] : counts) {
+    observed[index.at(v)] = c;
+  }
+  EXPECT_LT(ChiSquareVsWeights(observed, weights), Chi2Critical999(3));
+}
+
+// Second-order determinism: node2vec paths must be bit-identical whether
+// queries are answered locally (1 node) or via message rounds (many nodes),
+// and regardless of worker threads.
+TEST(DistributedEquivalenceTest, Node2VecPathsIdenticalAcrossClusterSizes) {
+  auto graph = GenerateTruncatedPowerLaw(400, 2.0, 4, 80, 3);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 12};
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  uint64_t remote_queries_multi = 0;
+  for (node_rank_t nodes : {1u, 4u}) {
+    WalkEngineOptions opts;
+    opts.num_nodes = nodes;
+    opts.collect_paths = true;
+    opts.seed = 55;
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+    SamplingStats stats =
+        engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(300, params));
+    if (nodes > 1) {
+      remote_queries_multi = stats.queries_remote;
+    } else {
+      EXPECT_EQ(stats.queries_remote, 0u);
+    }
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_GT(remote_queries_multi, 0u);  // the query protocol was exercised
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(DistributedEquivalenceTest, MetaPathPathsIdenticalAcrossClusterSizes) {
+  auto typed = AssignEdgeTypes(GenerateUniformDegree(300, 10, 4), 5, 5);
+  MetaPathParams params;
+  params.schemes = GenerateMetaPathSchemes(10, 5, 5, 7);
+  params.walk_length = 10;
+  std::vector<std::vector<std::vector<vertex_id_t>>> results;
+  for (node_rank_t nodes : {1u, 3u}) {
+    WalkEngineOptions opts;
+    opts.num_nodes = nodes;
+    opts.collect_paths = true;
+    opts.seed = 66;
+    WalkEngine<TypedEdgeData, MetaPathWalkerState> engine(
+        Csr<TypedEdgeData>::FromEdgeList(typed), opts);
+    engine.Run(MetaPathTransition<TypedEdgeData>(params), MetaPathWalkers(200, params));
+    results.push_back(engine.TakePaths());
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+// Meta-path first-step law: uniform over type-matching edges, zero elsewhere.
+TEST(MetaPathLawTest, FirstHopUniformOverMatchingTypes) {
+  EdgeList<TypedEdgeData> list;
+  list.num_vertices = 6;
+  auto add = [&](vertex_id_t a, vertex_id_t b, edge_type_t t) {
+    list.edges.push_back({a, b, {t}});
+    list.edges.push_back({b, a, {t}});
+  };
+  add(0, 1, 0);
+  add(0, 2, 0);
+  add(0, 3, 1);
+  add(0, 4, 2);
+  add(0, 5, 0);
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<TypedEdgeData, MetaPathWalkerState> engine(
+      Csr<TypedEdgeData>::FromEdgeList(list), opts);
+  MetaPathParams params;
+  params.schemes = {{0}};
+  params.walk_length = 1;
+  WalkerSpec<MetaPathWalkerState> walkers = MetaPathWalkers(30000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  engine.Run(MetaPathTransition<TypedEdgeData>(params), walkers);
+  // Type-0 edges from 0 lead to {1, 2, 5}; types 1 and 2 must never appear.
+  std::vector<uint64_t> counts(5, 0);
+  for (const auto& path : engine.TakePaths()) {
+    ASSERT_EQ(path.size(), 2u);
+    ++counts[path[1] - 1];
+  }
+  std::vector<double> weights = {1.0, 1.0, 0.0, 0.0, 1.0};
+  EXPECT_LT(ChiSquareVsWeights(counts, weights), Chi2Critical999(2));
+}
+
+// Engine and baseline agree on aggregate behaviour: per-vertex visit
+// frequencies for the same node2vec configuration are statistically equal.
+TEST(EngineVsBaselineTest, Node2VecVisitFrequenciesAgree) {
+  auto graph = GenerateTruncatedPowerLaw(150, 2.0, 4, 50, 9);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 30};
+  const walker_id_t kWalkers = 1500;
+
+  WalkEngineOptions eopts;
+  eopts.collect_paths = true;
+  eopts.seed = 101;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), eopts);
+  engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(kWalkers, params));
+  auto engine_paths = engine.TakePaths();
+
+  FullScanEngineOptions bopts;
+  bopts.collect_paths = true;
+  bopts.seed = 202;
+  FullScanEngine<EmptyEdgeData> baseline(Csr<EmptyEdgeData>::FromEdgeList(graph), bopts);
+  baseline.Run(Node2VecTransition(baseline.graph(), params), Node2VecWalkers(kWalkers, params));
+  auto baseline_paths = baseline.TakePaths();
+
+  auto visit_freq = [&](const std::vector<std::vector<vertex_id_t>>& paths) {
+    std::vector<double> freq(150, 0.0);
+    double total = 0.0;
+    for (const auto& path : paths) {
+      for (vertex_id_t v : path) {
+        freq[v] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (double& f : freq) {
+      f /= total;
+    }
+    return freq;
+  };
+  auto fe = visit_freq(engine_paths);
+  auto fb = visit_freq(baseline_paths);
+  double l1 = 0.0;
+  for (size_t v = 0; v < fe.size(); ++v) {
+    l1 += std::abs(fe[v] - fb[v]);
+  }
+  // Two independent samples of the same walk distribution: total variation
+  // distance should be small (sampling noise only).
+  EXPECT_LT(l1, 0.12) << "engine and baseline disagree on visit distribution";
+}
+
+}  // namespace
+}  // namespace knightking

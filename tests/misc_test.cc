@@ -1,0 +1,75 @@
+// Remaining small-surface coverage: logging levels, PPR score filtering,
+// scheme determinism, CSR edge indexing, corpus text format details.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/metapath.h"
+#include "src/apps/ppr.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/logging.h"
+
+namespace knightking {
+namespace {
+
+TEST(LoggingTest, LevelThresholdRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold calls must be safe no-ops.
+  KK_LOG_DEBUG("dropped %d", 1);
+  KK_LOG_INFO("dropped %s", "too");
+  SetLogLevel(LogLevel::kOff);
+  KK_LOG_ERROR("also dropped at kOff");
+  SetLogLevel(original);
+}
+
+TEST(PprScoresTest, IgnoresWalksFromOtherSources) {
+  std::vector<std::vector<vertex_id_t>> paths = {
+      {0, 1, 2},  // from source 0
+      {5, 6},     // different source: must not contribute
+      {0, 2},     // from source 0
+  };
+  auto scores = EstimatePprScores(paths, 0);
+  EXPECT_EQ(scores.count(6), 0u);
+  EXPECT_EQ(scores.count(5), 0u);
+  // Visits from source-0 walks: {0:2, 1:1, 2:2} over 5 stops.
+  EXPECT_DOUBLE_EQ(scores.at(0), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(scores.at(1), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(scores.at(2), 2.0 / 5.0);
+}
+
+TEST(PprScoresTest, EmptyWhenNoMatchingWalks) {
+  std::vector<std::vector<vertex_id_t>> paths = {{3, 4}};
+  auto scores = EstimatePprScores(paths, 0);
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(MetaPathSchemesTest, DeterministicForSeed) {
+  auto a = GenerateMetaPathSchemes(10, 5, 5, 42);
+  auto b = GenerateMetaPathSchemes(10, 5, 5, 42);
+  EXPECT_EQ(a, b);
+  auto c = GenerateMetaPathSchemes(10, 5, 5, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(CsrTest, EdgeBeginMatchesPrefixSums) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(100, 6, 1));
+  edge_index_t running = 0;
+  for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_EQ(csr.EdgeBegin(v), running);
+    running += csr.OutDegree(v);
+  }
+  EXPECT_EQ(running, csr.num_edges());
+}
+
+TEST(CsrTest, EmptyGraphHasNoVertices) {
+  Csr<EmptyEdgeData> csr;
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace knightking

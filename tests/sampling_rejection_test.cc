@@ -1,0 +1,143 @@
+// Tests for the standalone RejectionRow sampler and the reorder utilities.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/reorder.h"
+#include "src/sampling/rejection.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(RejectionRowTest, UniformStaticSkewedDynamic) {
+  auto row = RejectionRow::Uniform(10, {.upper_bound = 1.0f});
+  auto pd = [](size_t i) { return i % 2 == 0 ? 1.0f : 0.25f; };
+  Rng rng(3);
+  std::vector<uint64_t> counts(10, 0);
+  std::vector<double> law(10);
+  for (size_t i = 0; i < 10; ++i) {
+    law[i] = pd(i);
+  }
+  for (int k = 0; k < 100000; ++k) {
+    size_t s = row.Sample(pd, rng);
+    ASSERT_LT(s, 10u);
+    ++counts[s];
+  }
+  ExpectChiSquareOk(counts, law);
+}
+
+TEST(RejectionRowTest, BiasedStaticTimesDynamic) {
+  std::vector<real_t> ps = {1.0f, 4.0f, 2.0f, 0.5f, 3.0f};
+  RejectionRow row(ps, {.upper_bound = 2.0f, .lower_bound = 0.5f});
+  auto pd = [](size_t i) { return 0.5f + 0.3f * static_cast<float>(i % 3); };
+  Rng rng(5);
+  std::vector<uint64_t> counts(ps.size(), 0);
+  std::vector<double> law(ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    law[i] = static_cast<double>(ps[i]) * pd(i);
+  }
+  SamplingStats stats;
+  for (int k = 0; k < 120000; ++k) {
+    ++counts[row.Sample(pd, rng, &stats)];
+  }
+  EXPECT_GT(stats.pre_accepts, 0u);  // lower bound was exercised
+  ExpectChiSquareOk(counts, law);
+}
+
+TEST(RejectionRowTest, FallbackKeepsTinyAcceptanceExact) {
+  // Acceptance ~1/500 under the envelope: the trial loop almost always
+  // exhausts max_trials and the exact fallback must preserve the law.
+  auto row = RejectionRow::Uniform(8, {.upper_bound = 1.0f, .max_trials = 4});
+  auto pd = [](size_t i) { return i == 5 ? 0.002f : 0.001f; };
+  Rng rng(7);
+  std::vector<uint64_t> counts(8, 0);
+  SamplingStats stats;
+  for (int k = 0; k < 30000; ++k) {
+    size_t s = row.Sample(pd, rng, &stats);
+    ASSERT_LT(s, 8u);
+    ++counts[s];
+  }
+  EXPECT_GT(stats.fallback_scans, 0u);
+  std::vector<double> law = {1, 1, 1, 1, 1, 2, 1, 1};
+  ExpectChiSquareOk(counts, law);
+}
+
+TEST(RejectionRowTest, AllZeroPdReturnsSize) {
+  auto row = RejectionRow::Uniform(5, {.upper_bound = 1.0f, .max_trials = 8});
+  auto pd = [](size_t) { return 0.0f; };
+  Rng rng(9);
+  EXPECT_EQ(row.Sample(pd, rng), 5u);
+}
+
+TEST(RejectionRowTest, TrialsMatchEquationThree) {
+  // E[trials] = Q * sum(Ps) / sum(Ps * Pd) = 1 * 20 / (20 * 0.25) = 4.
+  auto row = RejectionRow::Uniform(20, {.upper_bound = 1.0f, .max_trials = 1000});
+  auto pd = [](size_t) { return 0.25f; };
+  Rng rng(11);
+  SamplingStats stats;
+  for (int k = 0; k < 50000; ++k) {
+    row.Sample(pd, rng, &stats);
+  }
+  EXPECT_NEAR(static_cast<double>(stats.trials) / 50000.0, 4.0, 0.15);
+}
+
+TEST(ReorderTest, DegreeDescendingSortsDegrees) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateTruncatedPowerLaw(300, 2.0, 3, 80, 1));
+  Relabeling map = DegreeDescendingOrder(csr);
+  ASSERT_EQ(map.new_id.size(), 300u);
+  // old_id order must have non-increasing degrees.
+  for (size_t i = 0; i + 1 < map.old_id.size(); ++i) {
+    EXPECT_GE(csr.OutDegree(map.old_id[i]), csr.OutDegree(map.old_id[i + 1]));
+  }
+  // Bijection.
+  for (vertex_id_t v = 0; v < 300; ++v) {
+    EXPECT_EQ(map.old_id[map.new_id[v]], v);
+  }
+}
+
+TEST(ReorderTest, ApplyRelabelingPreservesStructure) {
+  auto list = GenerateUniformDegree(200, 6, 2);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
+  Relabeling map = DegreeDescendingOrder(csr);
+  auto relabeled = ApplyRelabeling(list, map);
+  auto csr2 = Csr<EmptyEdgeData>::FromEdgeList(relabeled);
+  EXPECT_EQ(csr2.num_edges(), csr.num_edges());
+  // Every original edge exists under the new labels and vice versa.
+  for (vertex_id_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(csr2.OutDegree(map.new_id[v]), csr.OutDegree(v));
+    for (const auto& adj : csr.Neighbors(v)) {
+      EXPECT_TRUE(csr2.HasNeighbor(map.new_id[v], map.new_id[adj.neighbor]));
+    }
+  }
+}
+
+TEST(ReorderTest, BfsOrderStartsAtRootAndCoversAll) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(150, 5, 3));
+  Relabeling map = BfsOrder(csr, 42);
+  EXPECT_EQ(map.new_id[42], 0u);
+  std::vector<bool> used(150, false);
+  for (vertex_id_t v = 0; v < 150; ++v) {
+    EXPECT_LT(map.new_id[v], 150u);
+    EXPECT_FALSE(used[map.new_id[v]]);
+    used[map.new_id[v]] = true;
+  }
+}
+
+TEST(ReorderTest, BfsOrderHandlesUnreachableVertices) {
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1, {}}, {1, 0, {}}};  // 2,3,4 unreachable from 0
+  Relabeling map = BfsOrder(Csr<EmptyEdgeData>::FromEdgeList(list), 0);
+  EXPECT_EQ(map.new_id[0], 0u);
+  EXPECT_EQ(map.new_id[1], 1u);
+  std::vector<vertex_id_t> tail = {map.new_id[2], map.new_id[3], map.new_id[4]};
+  std::sort(tail.begin(), tail.end());
+  EXPECT_EQ(tail, (std::vector<vertex_id_t>{2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace knightking

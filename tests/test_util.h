@@ -1,0 +1,74 @@
+// Shared statistical helpers for distribution-correctness tests.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace knightking {
+
+// Chi-square statistic of observed counts against expected proportional
+// weights. Zero-weight cells must have zero counts (asserted).
+inline double ChiSquareVsWeights(const std::vector<uint64_t>& counts,
+                                 const std::vector<double>& weights) {
+  double total_w = 0.0;
+  uint64_t total_c = 0;
+  for (double w : weights) {
+    total_w += w;
+  }
+  for (uint64_t c : counts) {
+    total_c += c;
+  }
+  double chi2 = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) {
+      EXPECT_EQ(counts[i], 0u) << "zero-probability outcome " << i << " observed";
+      continue;
+    }
+    double expected = static_cast<double>(total_c) * weights[i] / total_w;
+    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+  }
+  return chi2;
+}
+
+// Number of positive-weight cells minus one (chi-square dof).
+inline size_t ChiSquareDof(const std::vector<double>& weights) {
+  size_t nonzero = 0;
+  for (double w : weights) {
+    nonzero += w > 0.0 ? 1 : 0;
+  }
+  return nonzero > 0 ? nonzero - 1 : 0;
+}
+
+// 99.9th percentile of the chi-square distribution (Wilson-Hilferty).
+inline double Chi2Critical999(size_t dof) {
+  if (dof == 0) {
+    return 0.0;
+  }
+  double z = 3.09;
+  double d = static_cast<double>(dof);
+  double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+// Asserts that observed counts are consistent with the weights at the 99.9%
+// level. Degenerate one-outcome distributions only check impossibility of
+// zero-weight outcomes.
+inline void ExpectChiSquareOk(const std::vector<uint64_t>& counts,
+                              const std::vector<double>& weights) {
+  double chi2 = ChiSquareVsWeights(counts, weights);
+  size_t dof = ChiSquareDof(weights);
+  if (dof == 0) {
+    EXPECT_DOUBLE_EQ(chi2, 0.0);
+  } else {
+    EXPECT_LT(chi2, Chi2Critical999(dof));
+  }
+}
+
+}  // namespace knightking
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,144 @@
+// Cross-validation and misuse tests:
+//   * Monte-Carlo PageRank from PPR-style walks matches power iteration,
+//   * weighted Meta-path obeys the combined Ps(weight) x Pd(type) law,
+//   * API misuse (dynamic walk without an envelope) aborts loudly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/apps/metapath.h"
+#include "src/apps/ppr.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/graph/pagerank.h"
+#include "tests/test_util.h"
+
+namespace knightking {
+namespace {
+
+TEST(PageRankTest, ConvergesAndSumsToOne) {
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(GenerateTruncatedPowerLaw(500, 2.0, 3, 80, 1));
+  PageRankResult pr = PageRank(csr, PageRankParams{});
+  EXPECT_TRUE(pr.converged);
+  double sum = 0.0;
+  for (double s : pr.scores) {
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, HandlesDanglingVertices) {
+  // Vertex 2 has no out-edges (directed construction).
+  EdgeList<EmptyEdgeData> list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, {}}, {1, 2, {}}, {0, 2, {}}};
+  PageRankResult pr = PageRank(Csr<EmptyEdgeData>::FromEdgeList(list), PageRankParams{});
+  EXPECT_TRUE(pr.converged);
+  double sum = pr.scores[0] + pr.scores[1] + pr.scores[2];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(pr.scores[2], pr.scores[0]);  // sink accumulates rank
+}
+
+// The §2.2 connection: visit frequencies of walks with geometric
+// termination Pt, deployed uniformly, estimate PageRank with damping
+// d = 1 - Pt.
+TEST(PageRankTest, MonteCarloWalksMatchPowerIteration) {
+  auto graph = GenerateTruncatedPowerLaw(300, 2.0, 4, 60, 2);
+  auto csr = Csr<EmptyEdgeData>::FromEdgeList(graph);
+  const double damping = 0.85;
+
+  PageRankParams prp;
+  prp.damping = damping;
+  PageRankResult exact = PageRank(csr, prp);
+
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  opts.seed = 9;
+  WalkEngine<EmptyEdgeData> engine(std::move(csr), opts);
+  PprParams ppr{.terminate_prob = 1.0 - damping};
+  engine.Run(PprTransition<EmptyEdgeData>(), PprWalkers(300 * 100, ppr));
+
+  std::vector<double> visits(300, 0.0);
+  double total = 0.0;
+  for (const auto& path : engine.TakePaths()) {
+    for (vertex_id_t v : path) {
+      visits[v] += 1.0;
+      total += 1.0;
+    }
+  }
+  double l1 = 0.0;
+  for (vertex_id_t v = 0; v < 300; ++v) {
+    l1 += std::abs(visits[v] / total - exact.scores[v]);
+  }
+  EXPECT_LT(l1, 0.08) << "Monte-Carlo PageRank diverges from power iteration";
+}
+
+// Weighted Meta-path: first-hop law = weight * type-indicator, exercising
+// the combined static and dynamic components through the full engine.
+TEST(WeightedMetaPathTest, FirstHopLawIsWeightTimesTypeMatch) {
+  EdgeList<WeightedTypedEdgeData> list;
+  list.num_vertices = 6;
+  auto add = [&](vertex_id_t a, vertex_id_t b, real_t w, edge_type_t t) {
+    list.edges.push_back({a, b, {w, t}});
+    list.edges.push_back({b, a, {w, t}});
+  };
+  add(0, 1, 3.0f, 0);
+  add(0, 2, 1.0f, 0);
+  add(0, 3, 5.0f, 1);  // wrong type: excluded despite the big weight
+  add(0, 4, 0.5f, 0);
+  add(0, 5, 2.0f, 2);  // wrong type
+  WalkEngineOptions opts;
+  opts.collect_paths = true;
+  WalkEngine<WeightedTypedEdgeData, MetaPathWalkerState> engine(
+      Csr<WeightedTypedEdgeData>::FromEdgeList(list), opts);
+  MetaPathParams params;
+  params.schemes = {{0}};
+  params.walk_length = 1;
+  WalkerSpec<MetaPathWalkerState> walkers = MetaPathWalkers(40000, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{0}; };
+  engine.Run(MetaPathTransition<WeightedTypedEdgeData>(params), walkers);
+  std::vector<uint64_t> counts(5, 0);
+  for (const auto& path : engine.TakePaths()) {
+    ASSERT_EQ(path.size(), 2u);
+    ++counts[path[1] - 1];
+  }
+  std::vector<double> law = {3.0, 1.0, 0.0, 0.5, 0.0};
+  ExpectChiSquareOk(counts, law);
+}
+
+using MisuseDeathTest = testing::Test;
+
+TEST(MisuseDeathTest, DynamicWalkWithoutEnvelopeAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto graph = GenerateUniformDegree(20, 4, 3);
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph),
+                                   WalkEngineOptions{});
+  TransitionSpec<EmptyEdgeData> transition;
+  transition.dynamic_comp = [](const Walker<>&, vertex_id_t, const AdjUnit<EmptyEdgeData>&,
+                               const std::optional<uint8_t>&) { return 1.0f; };
+  // No dynamic_upper_bound: the engine cannot build an envelope.
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 1;
+  walkers.max_steps = 1;
+  EXPECT_DEATH(engine.Run(transition, walkers), "dynamic_upper_bound");
+}
+
+TEST(MisuseDeathTest, StartVertexOutOfRangeAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto graph = GenerateUniformDegree(20, 4, 4);
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph),
+                                   WalkEngineOptions{});
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 1;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [](walker_id_t, Rng&) { return vertex_id_t{999}; };
+  EXPECT_DEATH(engine.Run(TransitionSpec<EmptyEdgeData>{}, walkers), "cur < num_v");
+}
+
+}  // namespace
+}  // namespace knightking
