@@ -1,0 +1,95 @@
+// Fault-injection overhead: wall time and protocol traffic of node2vec and
+// DeepWalk runs as the per-message fault rate sweeps 0% -> 20%.
+//
+// Two things are measured: (1) the cost of the reliability protocol itself
+// at rate 0 with an injector attached (acks + bookkeeping but no faults),
+// against the true fault-free baseline with the protocol disabled; and
+// (2) how retransmit/retry traffic and completion time grow with the rate.
+// Output is informational — the correctness claims live in
+// tests/fault_injection_test.cc.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/testing/fault_injector.h"
+
+namespace knightking {
+namespace bench {
+namespace {
+
+struct FaultRow {
+  double rate = 0.0;
+  bool protocol = false;
+  double seconds = 0.0;
+  SamplingStats stats;
+  uint64_t messages = 0;
+};
+
+template <typename MakeSpec, typename Walkers>
+FaultRow RunAtRate(const EdgeList<EmptyEdgeData>& edges, const MakeSpec& make_spec,
+                   const Walkers& walkers, double rate, bool attach_injector) {
+  FaultPolicy policy;
+  policy.drop = rate / 2.0;
+  policy.delay = rate / 2.0;
+  FaultInjector injector(policy);
+
+  WalkEngineOptions opts;
+  opts.num_nodes = 4;
+  opts.seed = kRunSeed;
+  if (attach_injector) {
+    opts.fault_injector = &injector;
+  }
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  Timer timer;
+  FaultRow row;
+  row.stats = engine.Run(make_spec(engine.graph()), walkers);
+  row.seconds = timer.Seconds();
+  row.rate = rate;
+  row.protocol = attach_injector;
+  row.messages = engine.cross_node_messages();
+  return row;
+}
+
+void PrintRow(const FaultRow& r) {
+  std::printf("  %5.1f%%   %-8s %8.3fs %10llu %10llu %10llu %10llu\n", r.rate * 100.0,
+              r.protocol ? "on" : "off", r.seconds,
+              static_cast<unsigned long long>(r.messages),
+              static_cast<unsigned long long>(r.stats.walker_retransmits),
+              static_cast<unsigned long long>(r.stats.query_retries),
+              static_cast<unsigned long long>(r.stats.duplicates_suppressed));
+}
+
+template <typename MakeSpec, typename Walkers>
+void Sweep(const char* name, const EdgeList<EmptyEdgeData>& edges,
+           const MakeSpec& make_spec, const Walkers& walkers) {
+  std::printf("%s (4 nodes, drop+delay split evenly)\n", name);
+  std::printf("  rate     protocol  time        msgs    retrans   qretries   dupsupp\n");
+  PrintRule();
+  PrintRow(RunAtRate(edges, make_spec, walkers, 0.0, /*attach_injector=*/false));
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    PrintRow(RunAtRate(edges, make_spec, walkers, rate, /*attach_injector=*/true));
+  }
+  PrintRule();
+}
+
+void Main() {
+  auto edges = GenerateUniformDegree(20000, 16, kGraphSeed);
+
+  DeepWalkParams dw{.walk_length = 40};
+  Sweep("DeepWalk 20k vertices, 20k walkers x 40 steps", edges,
+        [](const auto&) { return DeepWalkTransition<EmptyEdgeData>(); },
+        DeepWalkWalkers(20000, dw));
+
+  Node2VecParams n2v{.p = 0.5, .q = 2.0, .walk_length = 20};
+  Sweep("node2vec p=0.5 q=2, 10k walkers x 20 steps", edges,
+        [&](const auto& g) { return Node2VecTransition(g, n2v); },
+        Node2VecWalkers(10000, n2v));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace knightking
+
+int main() {
+  knightking::bench::Main();
+  return 0;
+}

@@ -76,7 +76,8 @@ class FullScanEngine {
     if (!dynamic_) {
       BuildStaticStructures();
     }
-    Rng deploy_rng(HashCombine64(options_.seed, 0x5741'4c4bULL));
+    Rng deploy_rng;
+    deploy_rng.SeedStream(options_.seed, kDeployStream);
     vertex_id_t num_v = graph_.num_vertices();
     KK_CHECK(num_v > 0);
     for (walker_id_t i = 0; i < walker_spec.num_walkers; ++i) {
@@ -87,7 +88,7 @@ class FullScanEngine {
       w.cur = walker_spec.start_vertex ? walker_spec.start_vertex(i, deploy_rng)
                                        : static_cast<vertex_id_t>(i % num_v);
       KK_CHECK(w.cur < num_v);
-      w.rng.Seed(HashCombine64(options_.seed, i + 1));
+      w.rng.SeedStream(options_.seed, i);
       if (walker_spec.init_state) {
         walker_spec.init_state(w);
       }

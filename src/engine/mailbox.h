@@ -6,13 +6,23 @@
 // senders append batches, and Exchange() delivers everything at a BSP
 // barrier. Message and byte counters make communication volume observable
 // (used by the Figure 7 scalability analysis). See DESIGN.md §3.
+//
+// A FaultInjector (src/testing/fault_injector.h) may be attached to perturb
+// delivery: at each Exchange a message can be dropped, delayed until the
+// next Exchange, or duplicated, and a whole inbox reordered. Decisions are
+// keyed on message *content* (via a caller-supplied key function) plus the
+// Exchange epoch, never on buffer position, so the fault schedule is
+// deterministic for a given policy seed regardless of thread scheduling.
 #ifndef SRC_ENGINE_MAILBOX_H_
 #define SRC_ENGINE_MAILBOX_H_
 
+#include <algorithm>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "src/testing/fault_injector.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
 
@@ -21,6 +31,8 @@ namespace knightking {
 template <typename MessageT>
 class Mailbox {
  public:
+  using FaultKeyFn = std::function<uint64_t(const MessageT&)>;
+
   explicit Mailbox(node_rank_t num_nodes)
       : num_nodes_(num_nodes),
         outgoing_(static_cast<size_t>(num_nodes) * num_nodes),
@@ -28,6 +40,16 @@ class Mailbox {
         locks_(static_cast<size_t>(num_nodes) * num_nodes) {}
 
   node_rank_t num_nodes() const { return num_nodes_; }
+
+  // Attaches a fault injector. `salt` distinguishes this mailbox's decision
+  // stream from other mailboxes sharing the injector; `key_fn` derives a
+  // content key per message (e.g. walker id + step).
+  void AttachFaultInjector(FaultInjector* injector, uint64_t salt, FaultKeyFn key_fn) {
+    injector_ = injector;
+    fault_salt_ = salt;
+    fault_key_ = std::move(key_fn);
+    delayed_.assign(num_nodes_, {});
+  }
 
   // Appends a batch from src to dst. Thread-safe per (src, dst) channel.
   void Post(node_rank_t src, node_rank_t dst, std::vector<MessageT>&& batch) {
@@ -50,9 +72,17 @@ class Mailbox {
   // BSP barrier: moves every posted batch into the destination inboxes.
   // Must be called from the driver with no concurrent Post() in flight.
   void Exchange() {
+    ++epoch_;
     for (node_rank_t dst = 0; dst < num_nodes_; ++dst) {
       auto& inbox = incoming_[dst];
       inbox.clear();
+      if (!delayed_.empty() && !delayed_[dst].empty()) {
+        // Messages delayed at the previous Exchange arrive first, one
+        // superstep late.
+        inbox.insert(inbox.end(), std::make_move_iterator(delayed_[dst].begin()),
+                     std::make_move_iterator(delayed_[dst].end()));
+        delayed_[dst].clear();
+      }
       for (node_rank_t src = 0; src < num_nodes_; ++src) {
         auto& buf = outgoing_[Channel(src, dst)];
         if (buf.empty()) {
@@ -62,11 +92,45 @@ class Mailbox {
           cross_node_messages_ += buf.size();
           cross_node_bytes_ += buf.size() * sizeof(MessageT);
         }
-        inbox.insert(inbox.end(), std::make_move_iterator(buf.begin()),
-                     std::make_move_iterator(buf.end()));
+        bool faultable =
+            injector_ != nullptr && (src != dst || injector_->policy().include_local);
+        if (!faultable) {
+          inbox.insert(inbox.end(), std::make_move_iterator(buf.begin()),
+                       std::make_move_iterator(buf.end()));
+        } else {
+          for (MessageT& msg : buf) {
+            switch (injector_->Decide(fault_salt_, fault_key_(msg), epoch_)) {
+              case FaultAction::kDeliver:
+                inbox.push_back(std::move(msg));
+                break;
+              case FaultAction::kDrop:
+                break;
+              case FaultAction::kDelay:
+                delayed_[dst].push_back(std::move(msg));
+                break;
+              case FaultAction::kDuplicate:
+                inbox.push_back(msg);
+                inbox.push_back(std::move(msg));
+                break;
+            }
+          }
+        }
         buf.clear();
       }
+      if (injector_ != nullptr && injector_->policy().reorder && inbox.size() > 1) {
+        CounterRng shuffle_rng = injector_->ShuffleRng(fault_salt_, epoch_, dst);
+        std::shuffle(inbox.begin(), inbox.end(), shuffle_rng);
+      }
     }
+  }
+
+  // Undelivered delayed messages (only ever non-zero mid-run with faults).
+  size_t pending_delayed() const {
+    size_t total = 0;
+    for (const auto& d : delayed_) {
+      total += d.size();
+    }
+    return total;
   }
 
   // The inbox delivered by the last Exchange(), owned by node `dst`.
@@ -94,9 +158,14 @@ class Mailbox {
   node_rank_t num_nodes_;
   std::vector<std::vector<MessageT>> outgoing_;
   std::vector<std::vector<MessageT>> incoming_;
+  std::vector<std::vector<MessageT>> delayed_;
   std::vector<ChannelLock> locks_;
   uint64_t cross_node_messages_ = 0;
   uint64_t cross_node_bytes_ = 0;
+  uint64_t epoch_ = 0;
+  FaultInjector* injector_ = nullptr;
+  uint64_t fault_salt_ = 0;
+  FaultKeyFn fault_key_;
 };
 
 }  // namespace knightking

@@ -19,6 +19,16 @@
 // Second-order walks run one trial per walker per iteration; rejected
 // walkers stay put and retry next iteration, producing the long-tail
 // behaviour of Figure 5.
+//
+// Fault tolerance: with a FaultInjector attached (options.fault_injector)
+// the engine runs a reliability protocol over the simulated network —
+// positive acknowledgements plus bounded timeout/retransmit for inter-node
+// walker messages, bounded re-issue of unanswered second-order state
+// queries, and (walker, step) dedup at the receiver so duplicated or
+// retransmitted messages never double-walk. Because every random decision
+// lives in the walker's own RNG stream and retransmits carry the walker's
+// exact state, a faulted run produces *bit-identical* walks to the
+// fault-free run under the same seed. See docs/TESTING.md.
 #ifndef SRC_ENGINE_WALK_ENGINE_H_
 #define SRC_ENGINE_WALK_ENGINE_H_
 
@@ -27,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,6 +62,8 @@ struct PathEntry {
   walker_id_t walker = 0;
   step_t step = 0;
   vertex_id_t vertex = 0;
+
+  friend bool operator==(const PathEntry&, const PathEntry&) = default;
 };
 
 struct WalkEngineOptions {
@@ -85,6 +98,29 @@ struct WalkEngineOptions {
   // rounds, even when the queried vertex lives on the walker's own node.
   // Disables the local-answer fast path; sampling results are unchanged.
   bool force_remote_queries = false;
+  // Fault injection (non-owning; see src/testing/fault_injector.h). When
+  // set, the engine attaches the injector to all mailboxes and activates
+  // its reliability protocol: acks + bounded retransmit for walker
+  // messages, bounded re-issue of unanswered state queries, and receiver
+  // dedup. Null disables both (zero overhead).
+  FaultInjector* fault_injector = nullptr;
+  // Supersteps a walker message may stay unacknowledged — or a state query
+  // unanswered — before it is re-sent. A fault-free round trip completes
+  // within one superstep; 2 tolerates one delay fault without spurious
+  // retransmission.
+  uint32_t retry_timeout = 2;
+  // Bounded retries per message/query; exceeding this aborts the run (the
+  // simulated network is considered failed, not slow).
+  uint32_t max_retries = 64;
+  // Deterministic simulation mode: drains every mailbox in a canonical
+  // (content-sorted) order so internal processing order is independent of
+  // thread scheduling and merge timing. Walk *output* is bit-identical
+  // across workers_per_node / num_nodes even without this flag (walkers
+  // carry their own RNG); deterministic mode additionally canonicalizes
+  // internal event order, which keeps seeded fault schedules and
+  // diagnostics reproducible. See docs/TESTING.md for what voids the
+  // guarantee.
+  bool deterministic = false;
 };
 
 // Wall-clock breakdown of the last Run, accumulated per phase by the
@@ -146,6 +182,9 @@ class WalkEngine {
     dynamic_ = transition.IsDynamic();
 
     phase_times_ = EnginePhaseTimes{};
+    reliable_ = options_.fault_injector != nullptr;
+    include_local_faults_ =
+        reliable_ && options_.fault_injector->policy().include_local;
     Prepare();
     DeployWalkers();
 
@@ -153,18 +192,40 @@ class WalkEngine {
     walker_mail_ = std::make_unique<Mailbox<WalkerT>>(options_.num_nodes);
     query_mail_ = std::make_unique<Mailbox<QueryMsg>>(options_.num_nodes);
     response_mail_ = std::make_unique<Mailbox<ResponseMsg>>(options_.num_nodes);
+    ack_mail_ = std::make_unique<Mailbox<AckMsg>>(options_.num_nodes);
+    if (reliable_) {
+      FaultInjector* injector = options_.fault_injector;
+      // Fault decisions are keyed on message content (walker id, step, trial
+      // epoch) — never buffer position — so the schedule is reproducible.
+      walker_mail_->AttachFaultInjector(injector, 0x57414c4bULL, [](const WalkerT& w) {
+        return HashCombine64(w.id, w.step);
+      });
+      query_mail_->AttachFaultInjector(injector, 0x51525259ULL, [](const QueryMsg& q) {
+        return HashCombine64(q.walker, q.epoch);
+      });
+      response_mail_->AttachFaultInjector(injector, 0x52455350ULL, [](const ResponseMsg& r) {
+        return HashCombine64(r.walker, r.epoch);
+      });
+      ack_mail_->AttachFaultInjector(injector, 0x41434b21ULL, [](const AckMsg& a) {
+        return HashCombine64(a.walker, a.step);
+      });
+      walker_progress_.assign(num_walkers_, 0);
+    }
 
     uint64_t iterations = 0;
     uint64_t last_progress_steps = 0;
     uint64_t stalled_iterations = 0;
+    superstep_ = 0;
     for (;;) {
       uint64_t active_total = 0;
       uint64_t steps_total = 0;
+      uint64_t outstanding = 0;  // parked trials + unacked walker messages
       for (auto& node : nodes_) {
         active_total += node->active.size();
+        outstanding += node->pending.size() + node->in_flight.size();
         steps_total += node->stats.steps;
       }
-      if (active_total == 0) {
+      if (active_total + outstanding == 0) {
         break;
       }
       // Safety net: a second-order walk whose pending walkers all face
@@ -178,6 +239,7 @@ class WalkEngine {
       }
       active_history_.push_back(active_total);
       ++iterations;
+      ++superstep_;
       RunIteration();
     }
 
@@ -200,21 +262,23 @@ class WalkEngine {
   // Per-phase wall-clock breakdown of the last Run.
   const EnginePhaseTimes& phase_times() const { return phase_times_; }
 
-  // Communication volume of the last Run.
+  // Communication volume of the last Run (acks only flow under fault
+  // injection, so fault-free figures are unchanged by the ack mailbox).
   uint64_t cross_node_messages() const {
     return walker_mail_->cross_node_messages() + query_mail_->cross_node_messages() +
-           response_mail_->cross_node_messages();
+           response_mail_->cross_node_messages() + ack_mail_->cross_node_messages();
   }
   uint64_t cross_node_bytes() const {
     return walker_mail_->cross_node_bytes() + query_mail_->cross_node_bytes() +
-           response_mail_->cross_node_bytes();
+           response_mail_->cross_node_bytes() + ack_mail_->cross_node_bytes();
   }
 
   const SamplingStats& last_stats() const { return last_stats_; }
 
-  // Reassembles walk sequences from the recorded path log (requires
-  // options.collect_paths). Paths are indexed by walker id.
-  std::vector<std::vector<vertex_id_t>> TakePaths() {
+  // The raw path log of the last Run in canonical (walker, step) order
+  // (requires options.collect_paths). Deterministic-simulation tests
+  // compare this representation byte for byte.
+  std::vector<PathEntry> TakePathEntries() {
     std::vector<PathEntry> all;
     for (auto& node : nodes_) {
       all.insert(all.end(), node->path_log.begin(), node->path_log.end());
@@ -223,6 +287,13 @@ class WalkEngine {
     std::sort(all.begin(), all.end(), [](const PathEntry& a, const PathEntry& b) {
       return a.walker != b.walker ? a.walker < b.walker : a.step < b.step;
     });
+    return all;
+  }
+
+  // Reassembles walk sequences from the recorded path log (requires
+  // options.collect_paths). Paths are indexed by walker id.
+  std::vector<std::vector<vertex_id_t>> TakePaths() {
+    std::vector<PathEntry> all = TakePathEntries();
     std::vector<std::vector<vertex_id_t>> paths(num_walkers_);
     for (const auto& entry : all) {
       KK_CHECK(entry.walker < paths.size());
@@ -233,31 +304,57 @@ class WalkEngine {
   }
 
  private:
+  // Pending trials are keyed by walker id (a walker has at most one trial in
+  // flight), and `epoch` (the superstep the trial was parked) guards against
+  // stale responses when a query is re-issued under faults.
   struct QueryMsg {
+    walker_id_t walker = 0;   // pending-trial key at the origin node
     vertex_id_t target = 0;   // vertex whose owner answers
     vertex_id_t subject = 0;  // candidate destination being asked about
     node_rank_t origin = 0;   // node holding the pending trial
-    uint32_t slot = 0;        // index into the origin's pending array
+    uint64_t epoch = 0;       // superstep the trial was parked
   };
 
   struct ResponseMsg {
-    uint32_t slot = 0;
+    walker_id_t walker = 0;
+    uint64_t epoch = 0;
     QueryResponse payload{};
+  };
+
+  // Positive acknowledgement of a delivered walker message (reliability
+  // protocol; only flows under fault injection).
+  struct AckMsg {
+    walker_id_t walker = 0;
+    step_t step = 0;
   };
 
   // A second-order trial parked while its state query is in flight.
   struct PendingTrial {
     WalkerT walker;
-    vertex_id_t candidate = 0;  // local edge index at walker.cur
-    real_t y = 0.0f;            // dart height, compared against Pd
+    vertex_id_t candidate = 0;     // local edge index at walker.cur
+    real_t y = 0.0f;               // dart height, compared against Pd
+    vertex_id_t query_target = 0;  // queried vertex (kept for re-issue)
+    uint64_t epoch = 0;            // superstep the trial was parked
+    uint32_t age = 0;              // supersteps spent waiting for a response
+    uint32_t retries = 0;
     QueryResponse response{};
     bool responded = false;
+  };
+
+  // A walker message awaiting acknowledgement; the stored copy is
+  // retransmitted verbatim after retry_timeout supersteps.
+  struct InFlightMove {
+    WalkerT walker;
+    node_rank_t dst = 0;
+    uint32_t age = 0;
+    uint32_t retries = 0;
   };
 
   struct NodeState {
     std::vector<WalkerT> active;
     std::vector<WalkerT> next_active;
-    std::vector<PendingTrial> pending;
+    std::unordered_map<walker_id_t, PendingTrial> pending;
+    std::unordered_map<walker_id_t, InFlightMove> in_flight;
     std::vector<PathEntry> path_log;
     SamplingStats stats;
     std::unique_ptr<ThreadPool> pool;
@@ -270,7 +367,8 @@ class WalkEngine {
     std::vector<std::vector<WalkerT>> moves;  // per destination node
     std::vector<WalkerT> stay;
     std::vector<PendingTrial> pending;
-    std::vector<QueryMsg> queries;  // slot filled at merge time
+    std::vector<QueryMsg> queries;
+    std::vector<InFlightMove> tracked;  // copies awaiting acknowledgement
     std::vector<PathEntry> paths;
     SamplingStats stats;
 
@@ -312,13 +410,18 @@ class WalkEngine {
       node->active.clear();
       node->next_active.clear();
       node->pending.clear();
+      node->in_flight.clear();
       node->path_log.clear();
       node->stats = SamplingStats{};
     }
   }
 
   void DeployWalkers() {
-    Rng deploy_rng(HashCombine64(options_.seed, 0x5741'4c4bULL));
+    // Deployment draws use the last stream block; walker i owns stream i.
+    // Counter-block streams can never overlap or correlate (see rng.h).
+    KK_CHECK(walker_spec_->num_walkers < kDeployStream);
+    Rng deploy_rng;
+    deploy_rng.SeedStream(options_.seed, kDeployStream);
     vertex_id_t num_v = graph_.num_vertices();
     KK_CHECK(num_v > 0);
     for (walker_id_t i = 0; i < walker_spec_->num_walkers; ++i) {
@@ -330,7 +433,7 @@ class WalkEngine {
                   ? walker_spec_->start_vertex(i, deploy_rng)
                   : static_cast<vertex_id_t>(i % num_v);
       KK_CHECK(w.cur < num_v);
-      w.rng.Seed(HashCombine64(options_.seed, i + 1));
+      w.rng.SeedStream(options_.seed, i);
       if (walker_spec_->init_state) {
         walker_spec_->init_state(w);
       }
@@ -512,6 +615,11 @@ class WalkEngine {
     if (dst_node != src_node) {
       scratch.stats.walker_moves_remote += 1;
     }
+    if (reliable_ && (dst_node != src_node || include_local_faults_)) {
+      // Keep a copy until the receiver acknowledges; retransmitted verbatim
+      // on timeout, so a recovered walker continues its exact RNG stream.
+      scratch.tracked.push_back(InFlightMove{w, dst_node, 0, 0});
+    }
     scratch.moves[dst_node].push_back(std::move(w));
   }
 
@@ -571,11 +679,13 @@ class WalkEngine {
     }
     scratch.stats.queries_remote += 1;
     PendingTrial pending;
-    pending.walker = std::move(w);
     pending.candidate = r.candidate;
     pending.y = r.y;
+    pending.query_target = r.query_target;
+    pending.epoch = superstep_;
+    scratch.queries.push_back({w.id, r.query_target, subject, node_rank, superstep_});
+    pending.walker = std::move(w);
     scratch.pending.push_back(std::move(pending));
-    scratch.queries.push_back({r.query_target, subject, node_rank, 0});
   }
 
   // Merges chunk-local results into node state and mailboxes.
@@ -587,13 +697,16 @@ class WalkEngine {
                               std::make_move_iterator(scratch.stay.begin()),
                               std::make_move_iterator(scratch.stay.end()));
       node.path_log.insert(node.path_log.end(), scratch.paths.begin(), scratch.paths.end());
-      if (!scratch.pending.empty()) {
-        uint32_t base = static_cast<uint32_t>(node.pending.size());
-        KK_CHECK(scratch.pending.size() == scratch.queries.size());
-        for (size_t i = 0; i < scratch.pending.size(); ++i) {
-          scratch.queries[i].slot = base + static_cast<uint32_t>(i);
-          node.pending.push_back(std::move(scratch.pending[i]));
-        }
+      KK_CHECK(scratch.pending.size() == scratch.queries.size());
+      for (auto& trial : scratch.pending) {
+        walker_id_t id = trial.walker.id;
+        bool inserted = node.pending.emplace(id, std::move(trial)).second;
+        KK_CHECK(inserted);  // one in-flight trial per walker
+      }
+      for (auto& move : scratch.tracked) {
+        // Overwrites any stale entry from an earlier acked-but-unlearned
+        // step; receiver-side dedup makes the old copy harmless.
+        node.in_flight[move.walker.id] = std::move(move);
       }
     }
     for (const QueryMsg& q : scratch.queries) {
@@ -658,6 +771,13 @@ class WalkEngine {
       ForEachNode([&](node_rank_t n) {
         NodeState& node = *nodes_[n];
         auto& inbox = query_mail_->Inbox(n);
+        if (options_.deterministic) {
+          std::sort(inbox.begin(), inbox.end(),
+                    [](const QueryMsg& a, const QueryMsg& b) {
+                      return a.walker != b.walker ? a.walker < b.walker
+                                                  : a.epoch < b.epoch;
+                    });
+        }
         ParallelOver(node, inbox.size(), [&](size_t begin, size_t end) {
           std::vector<std::pair<node_rank_t, ResponseMsg>> responses;
           responses.reserve(end - begin);
@@ -665,7 +785,7 @@ class WalkEngine {
             const QueryMsg& q = inbox[i];
             KK_DCHECK(partition_.Owns(n, q.target));
             QueryResponse payload = transition_->respond_query(graph_, q.target, q.subject);
-            responses.emplace_back(q.origin, ResponseMsg{q.slot, payload});
+            responses.emplace_back(q.origin, ResponseMsg{q.walker, q.epoch, payload});
           }
           for (auto& [origin, resp] : responses) {
             response_mail_->Post(n, origin, resp);
@@ -682,19 +802,61 @@ class WalkEngine {
       phase_timer.Restart();
       ForEachNode([&](node_rank_t n) {
         NodeState& node = *nodes_[n];
-        for (const ResponseMsg& resp : response_mail_->Inbox(n)) {
-          KK_CHECK(resp.slot < node.pending.size());
-          node.pending[resp.slot].response = resp.payload;
-          node.pending[resp.slot].responded = true;
+        auto& resp_inbox = response_mail_->Inbox(n);
+        if (options_.deterministic) {
+          std::sort(resp_inbox.begin(), resp_inbox.end(),
+                    [](const ResponseMsg& a, const ResponseMsg& b) {
+                      return a.walker != b.walker ? a.walker < b.walker
+                                                  : a.epoch < b.epoch;
+                    });
         }
-        response_mail_->Inbox(n).clear();
-        std::vector<PendingTrial> pending = std::move(node.pending);
-        node.pending.clear();
-        ParallelOver(node, pending.size(), [&](size_t begin, size_t end) {
+        for (const ResponseMsg& resp : resp_inbox) {
+          auto it = node.pending.find(resp.walker);
+          if (it == node.pending.end() || it->second.epoch != resp.epoch) {
+            // Duplicate of an already-resolved trial, or a late answer to a
+            // query that was re-issued (the retry carries the same epoch, so
+            // either copy's answer is accepted — respond_query is pure).
+            node.stats.stale_responses += 1;
+            continue;
+          }
+          it->second.response = resp.payload;
+          it->second.responded = true;
+        }
+        resp_inbox.clear();
+        // Split resolved trials out; unanswered ones stay parked and are
+        // re-queried after retry_timeout supersteps.
+        std::vector<PendingTrial> resolved;
+        resolved.reserve(node.pending.size());
+        for (auto it = node.pending.begin(); it != node.pending.end();) {
+          if (it->second.responded) {
+            resolved.push_back(std::move(it->second));
+            it = node.pending.erase(it);
+          } else {
+            KK_CHECK(reliable_);  // fault-free queries answer within the superstep
+            PendingTrial& trial = it->second;
+            if (++trial.age >= options_.retry_timeout) {
+              KK_CHECK(trial.retries < options_.max_retries);
+              trial.retries += 1;
+              trial.age = 0;
+              node.stats.query_retries += 1;
+              const WalkerT& w = trial.walker;
+              vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
+              query_mail_->Post(n, partition_.OwnerOf(trial.query_target),
+                                QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
+            }
+            ++it;
+          }
+        }
+        if (options_.deterministic) {
+          std::sort(resolved.begin(), resolved.end(),
+                    [](const PendingTrial& a, const PendingTrial& b) {
+                      return a.walker.id < b.walker.id;
+                    });
+        }
+        ParallelOver(node, resolved.size(), [&](size_t begin, size_t end) {
           Scratch scratch(num_nodes);
           for (size_t i = begin; i < end; ++i) {
-            PendingTrial& trial = pending[i];
-            KK_CHECK(trial.responded);
+            PendingTrial& trial = resolved[i];
             WalkerT& w = trial.walker;
             const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
             scratch.stats.pd_computations += 1;
@@ -717,12 +879,67 @@ class WalkEngine {
     for (node_rank_t n = 0; n < num_nodes; ++n) {
       NodeState& node = *nodes_[n];
       auto& inbox = walker_mail_->Inbox(n);
-      node.next_active.insert(node.next_active.end(),
-                              std::make_move_iterator(inbox.begin()),
-                              std::make_move_iterator(inbox.end()));
+      if (options_.deterministic) {
+        std::sort(inbox.begin(), inbox.end(), [](const WalkerT& a, const WalkerT& b) {
+          return a.id != b.id ? a.id < b.id : a.step < b.step;
+        });
+      }
+      if (!reliable_) {
+        node.next_active.insert(node.next_active.end(),
+                                std::make_move_iterator(inbox.begin()),
+                                std::make_move_iterator(inbox.end()));
+      } else {
+        for (WalkerT& w : inbox) {
+          // Ack every delivery — including duplicates, so a lost ack does
+          // not leave the sender retransmitting forever. The sender of a
+          // moved walker is always the owner of its prev vertex.
+          node_rank_t prev_owner = partition_.OwnerOf(w.prev);
+          if (prev_owner != n || include_local_faults_) {
+            ack_mail_->Post(n, prev_owner, AckMsg{w.id, w.step});
+          }
+          KK_DCHECK(w.id < walker_progress_.size());
+          KK_DCHECK(w.step > 0);  // deployment never goes through the mailbox
+          if (w.step <= walker_progress_[w.id]) {
+            node.stats.duplicates_suppressed += 1;
+            continue;  // duplicate or retransmit of an already-accepted step
+          }
+          walker_progress_[w.id] = w.step;
+          node.next_active.push_back(std::move(w));
+        }
+      }
       inbox.clear();
       node.active = std::move(node.next_active);
       node.next_active.clear();
+      if (options_.deterministic) {
+        // Stay-put walkers were merged in chunk-completion order; sort so
+        // the next iteration's processing order is canonical too.
+        std::sort(node.active.begin(), node.active.end(),
+                  [](const WalkerT& a, const WalkerT& b) { return a.id < b.id; });
+      }
+    }
+    // Ack processing: retire acknowledged in-flight copies, retransmit the
+    // timed-out ones (reliability protocol; no-op fault-free).
+    if (reliable_) {
+      ack_mail_->Exchange();
+      for (node_rank_t n = 0; n < num_nodes; ++n) {
+        NodeState& node = *nodes_[n];
+        for (const AckMsg& a : ack_mail_->Inbox(n)) {
+          auto it = node.in_flight.find(a.walker);
+          if (it != node.in_flight.end() && it->second.walker.step == a.step) {
+            node.in_flight.erase(it);
+          }
+        }
+        ack_mail_->Inbox(n).clear();
+        for (auto& [id, fl] : node.in_flight) {
+          if (++fl.age >= options_.retry_timeout) {
+            KK_CHECK(fl.retries < options_.max_retries);
+            fl.retries += 1;
+            fl.age = 0;
+            node.stats.walker_retransmits += 1;
+            walker_mail_->Post(n, fl.dst, fl.walker);
+          }
+        }
+      }
     }
     phase_times_.exchange += phase_timer.Seconds();
   }
@@ -739,6 +956,13 @@ class WalkEngine {
   std::unique_ptr<Mailbox<WalkerT>> walker_mail_;
   std::unique_ptr<Mailbox<QueryMsg>> query_mail_;
   std::unique_ptr<Mailbox<ResponseMsg>> response_mail_;
+  std::unique_ptr<Mailbox<AckMsg>> ack_mail_;
+  // Highest step accepted per walker (reliability protocol dedup; only
+  // consulted by the sequential driver loop, never by worker threads).
+  std::vector<step_t> walker_progress_;
+  uint64_t superstep_ = 0;
+  bool reliable_ = false;
+  bool include_local_faults_ = false;
   const TransitionT* transition_ = nullptr;
   const WalkerSpecT* walker_spec_ = nullptr;
   walker_id_t num_walkers_ = 0;

@@ -23,6 +23,11 @@ struct SamplingStats {
   uint64_t walker_moves_remote = 0;  // walker messages crossing nodes
   uint64_t fallback_scans = 0;   // exact full-scan fallbacks after repeated rejection
   uint64_t iterations = 0;       // engine supersteps executed
+  // Reliability-protocol accounting (non-zero only under fault injection).
+  uint64_t walker_retransmits = 0;     // walker messages re-sent after ack timeout
+  uint64_t query_retries = 0;          // state queries re-issued after timeout
+  uint64_t duplicates_suppressed = 0;  // stale/duplicate walker deliveries rejected
+  uint64_t stale_responses = 0;        // query responses matching no parked trial
 
   void Merge(const SamplingStats& other) {
     steps += other.steps;
@@ -36,6 +41,10 @@ struct SamplingStats {
     walker_moves_remote += other.walker_moves_remote;
     fallback_scans += other.fallback_scans;
     iterations += other.iterations;
+    walker_retransmits += other.walker_retransmits;
+    query_retries += other.query_retries;
+    duplicates_suppressed += other.duplicates_suppressed;
+    stale_responses += other.stale_responses;
   }
 
   // The paper's "edges/step": probability computations per successful move.

@@ -1,0 +1,40 @@
+#include "src/testing/fault_injector.h"
+
+#include "src/util/check.h"
+
+namespace knightking {
+
+FaultInjector::FaultInjector(const FaultPolicy& policy) : policy_(policy) {
+  KK_CHECK(policy_.drop >= 0.0 && policy_.delay >= 0.0 && policy_.duplicate >= 0.0);
+  KK_CHECK(policy_.drop + policy_.delay + policy_.duplicate <= 1.0);
+}
+
+FaultAction FaultInjector::Decide(uint64_t salt, uint64_t key, uint64_t epoch) {
+  uint64_t u = Mix64(policy_.seed ^ Mix64(salt ^ Mix64(key ^ Mix64(epoch))));
+  double x = static_cast<double>(u >> 11) * 0x1.0p-53;
+  if (x < policy_.drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return FaultAction::kDrop;
+  }
+  x -= policy_.drop;
+  if (x < policy_.delay) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    return FaultAction::kDelay;
+  }
+  x -= policy_.delay;
+  if (x < policy_.duplicate) {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    return FaultAction::kDuplicate;
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  return FaultAction::kDeliver;
+}
+
+void FaultInjector::ResetCounters() {
+  delivered_.store(0);
+  dropped_.store(0);
+  delayed_.store(0);
+  duplicated_.store(0);
+}
+
+}  // namespace knightking

@@ -1,0 +1,81 @@
+// Seeded fault injection for the simulated cluster (kk_testing).
+//
+// A FaultInjector attaches to the engine's mailboxes and perturbs message
+// delivery at each BSP Exchange: messages can be dropped, delayed by one
+// superstep, duplicated, or the delivery order of an inbox shuffled. Every
+// decision is a pure function of (policy seed, mailbox salt, message key,
+// exchange epoch) via counter-based hashing — never of arrival order — so a
+// given seed produces the same fault schedule regardless of worker threads,
+// and a retransmitted message gets a fresh draw each superstep (a message is
+// never deterministically doomed).
+//
+// The engine pairs the injector with a reliability protocol (acknowledgement
+// plus bounded retransmit for walker messages, bounded re-issue for
+// unanswered state queries, and (id, step) dedup at the receiver) so walks
+// complete exactly despite faults. See docs/TESTING.md.
+#ifndef SRC_TESTING_FAULT_INJECTOR_H_
+#define SRC_TESTING_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace knightking {
+
+// Per-message fault probabilities. drop + delay + duplicate must be <= 1;
+// the remainder is delivered normally. Faults apply to cross-node channels
+// only unless include_local is set (intra-node "network" cannot fail).
+struct FaultPolicy {
+  double drop = 0.0;       // message vanishes; sender must retransmit
+  double delay = 0.0;      // delivered at the next Exchange instead
+  double duplicate = 0.0;  // delivered twice in the same inbox
+  bool reorder = false;    // shuffle each inbox after delivery
+  bool include_local = false;
+  uint64_t seed = 0x464c'5449ULL;
+};
+
+enum class FaultAction { kDeliver, kDrop, kDelay, kDuplicate };
+
+// Snapshot of what the injector has done so far.
+struct FaultCounters {
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t delayed = 0;
+  uint64_t duplicated = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPolicy& policy);
+
+  const FaultPolicy& policy() const { return policy_; }
+
+  // Fault decision for one message. `salt` distinguishes the mailbox
+  // (walker / query / response / ack), `key` is content-derived (walker id,
+  // step, query epoch — never a buffer position), `epoch` is the mailbox's
+  // Exchange count so retries re-roll.
+  FaultAction Decide(uint64_t salt, uint64_t key, uint64_t epoch);
+
+  // Generator for the reorder shuffle of inbox `lane` at `epoch`.
+  CounterRng ShuffleRng(uint64_t salt, uint64_t epoch, uint64_t lane) const {
+    return CounterRng(policy_.seed ^ Mix64(salt ^ Mix64(epoch * 0x9e37ULL + lane)));
+  }
+
+  FaultCounters counters() const {
+    return {delivered_.load(), dropped_.load(), delayed_.load(), duplicated_.load()};
+  }
+
+  void ResetCounters();
+
+ private:
+  FaultPolicy policy_;
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> delayed_{0};
+  std::atomic<uint64_t> duplicated_{0};
+};
+
+}  // namespace knightking
+
+#endif  // SRC_TESTING_FAULT_INJECTOR_H_

@@ -1,0 +1,182 @@
+#include "src/testing/stat_check.h"
+
+#include <cmath>
+
+namespace knightking {
+
+namespace {
+
+// Lower-series expansion of P(a, x); converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-14) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a, x) (modified Lentz); converges for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  KK_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) {
+    return 1.0;
+  }
+  if (x < a + 1.0) {
+    return 1.0 - GammaPSeries(a, x);
+  }
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double stat, size_t dof) {
+  if (dof == 0) {
+    return 1.0;
+  }
+  return RegularizedGammaQ(static_cast<double>(dof) / 2.0, stat / 2.0);
+}
+
+double KsPValue(double d, size_t n) {
+  if (n == 0 || d <= 0.0) {
+    return 1.0;
+  }
+  double sqrt_n = std::sqrt(static_cast<double>(n));
+  double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  // Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) {
+      break;
+    }
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+GofResult ChiSquareGof(const std::vector<uint64_t>& counts,
+                       const std::vector<double>& weights, double min_expected) {
+  KK_CHECK(counts.size() == weights.size());
+  double total_w = 0.0;
+  uint64_t total_c = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    KK_CHECK(weights[i] >= 0.0);
+    // Impossible outcomes must never be observed — this is an exactness
+    // violation, not a statistical fluctuation.
+    if (weights[i] == 0.0) {
+      KK_CHECK(counts[i] == 0);
+      continue;
+    }
+    total_w += weights[i];
+    total_c += counts[i];
+  }
+  GofResult result;
+  result.samples = total_c;
+  if (total_w <= 0.0 || total_c == 0) {
+    return result;
+  }
+  // Pool cells with expected count below min_expected into one remainder
+  // cell so the chi-square approximation stays valid.
+  std::vector<double> cell_expected;
+  std::vector<uint64_t> cell_count;
+  double pooled_expected = 0.0;
+  uint64_t pooled_count = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] == 0.0) {
+      continue;
+    }
+    double expected = static_cast<double>(total_c) * weights[i] / total_w;
+    if (expected < min_expected) {
+      pooled_expected += expected;
+      pooled_count += counts[i];
+      continue;
+    }
+    cell_expected.push_back(expected);
+    cell_count.push_back(counts[i]);
+  }
+  if (pooled_expected > 0.0) {
+    if (pooled_expected >= min_expected || cell_expected.empty()) {
+      cell_expected.push_back(pooled_expected);
+      cell_count.push_back(pooled_count);
+    } else {
+      // The remainder is itself still sparse: fold it into the smallest kept
+      // cell rather than let a degenerate cell dominate the statistic.
+      size_t smallest = 0;
+      for (size_t i = 1; i < cell_expected.size(); ++i) {
+        if (cell_expected[i] < cell_expected[smallest]) {
+          smallest = i;
+        }
+      }
+      cell_expected[smallest] += pooled_expected;
+      cell_count[smallest] += pooled_count;
+    }
+  }
+  double stat = 0.0;
+  for (size_t i = 0; i < cell_expected.size(); ++i) {
+    double diff = static_cast<double>(cell_count[i]) - cell_expected[i];
+    stat += diff * diff / cell_expected[i];
+  }
+  result.stat = stat;
+  result.dof = cell_expected.size() > 1 ? cell_expected.size() - 1 : 0;
+  result.p_value = ChiSquarePValue(stat, result.dof);
+  return result;
+}
+
+GofResult KsTest(std::vector<double> samples, const std::function<double(double)>& cdf) {
+  GofResult result;
+  result.samples = samples.size();
+  if (samples.empty()) {
+    return result;
+  }
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  double d = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double f = cdf(samples[i]);
+    double lo = static_cast<double>(i) / static_cast<double>(n);
+    double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  result.stat = d;
+  result.dof = 0;
+  result.p_value = KsPValue(d, n);
+  return result;
+}
+
+}  // namespace knightking

@@ -1,0 +1,102 @@
+// Statistical assertion library (kk_testing).
+//
+// Distribution-correctness tests need real hypothesis tests, not ad-hoc
+// tolerances: this header provides chi-square and Kolmogorov–Smirnov
+// goodness-of-fit with honest p-values (regularized incomplete gamma /
+// asymptotic Kolmogorov series), Bonferroni adjustment for test families,
+// and a full-scan reference that computes the *exact* transition law
+// P(e) = Ps(e) * Pd(e) of a TransitionSpec for a given walker context —
+// the ground truth the rejection engine's empirical frequencies are tested
+// against. All functions are deterministic; tests run with fixed seeds and
+// documented thresholds (see docs/TESTING.md).
+#ifndef SRC_TESTING_STAT_CHECK_H_
+#define SRC_TESTING_STAT_CHECK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/engine/transition.h"
+#include "src/engine/walker.h"
+#include "src/graph/csr.h"
+#include "src/graph/edge.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// Regularized upper incomplete gamma Q(a, x) = Γ(a, x) / Γ(a), computed via
+// the series / continued-fraction split. Accurate to ~1e-10 for the a, x
+// ranges chi-square tests produce.
+double RegularizedGammaQ(double a, double x);
+
+// Survival function of the chi-square distribution: P(X >= stat | dof).
+double ChiSquarePValue(double stat, size_t dof);
+
+// Asymptotic Kolmogorov survival function with the small-sample correction
+// d * (sqrt(n) + 0.12 + 0.11 / sqrt(n)); valid for n >= ~20.
+double KsPValue(double d, size_t n);
+
+// Per-test significance level for a family of `num_tests` tests controlled
+// at family-wise level `family_alpha`.
+inline double BonferroniAlpha(double family_alpha, size_t num_tests) {
+  KK_CHECK(num_tests > 0);
+  return family_alpha / static_cast<double>(num_tests);
+}
+
+struct GofResult {
+  double stat = 0.0;
+  size_t dof = 0;
+  double p_value = 1.0;
+  uint64_t samples = 0;
+};
+
+// Chi-square goodness-of-fit of observed counts against unnormalized
+// expected weights. Cells whose expected count falls below `min_expected`
+// are pooled into a single remainder cell (standard validity requirement);
+// zero-weight cells must have zero observations (checked).
+GofResult ChiSquareGof(const std::vector<uint64_t>& counts,
+                       const std::vector<double>& weights, double min_expected = 5.0);
+
+// One-sample KS test of `samples` against the continuous CDF `cdf`.
+GofResult KsTest(std::vector<double> samples, const std::function<double(double)>& cdf);
+
+// Exact transition distribution of `spec` for a walker positioned at
+// `walker.cur` with history `walker.prev` / `walker.step`: the full scan
+// the baseline engine performs, evaluating Ps * Pd per out-edge (routing
+// second-order state queries through respond_query). Returns one
+// unnormalized probability per local edge index. This is the ground truth
+// for the rejection engine's empirical next-hop frequencies.
+template <typename EdgeData, typename WalkerState = EmptyWalkerState,
+          typename QueryResponse = uint8_t>
+std::vector<double> ExactTransitionDistribution(
+    const Csr<EdgeData>& graph,
+    const TransitionSpec<EdgeData, WalkerState, QueryResponse>& spec,
+    const Walker<WalkerState>& walker) {
+  auto neighbors = graph.Neighbors(walker.cur);
+  std::vector<double> law(neighbors.size(), 0.0);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const AdjUnit<EdgeData>& e = neighbors[i];
+    double ps = spec.static_comp ? spec.static_comp(walker.cur, e) : StaticWeight(e.data);
+    double pd = 1.0;
+    if (spec.dynamic_comp) {
+      std::optional<QueryResponse> response;
+      if (spec.post_query) {
+        std::optional<vertex_id_t> target = spec.post_query(walker, walker.cur, e);
+        if (target.has_value()) {
+          KK_CHECK(static_cast<bool>(spec.respond_query));
+          response = spec.respond_query(graph, *target, e.neighbor);
+        }
+      }
+      pd = spec.dynamic_comp(walker, walker.cur, e, response);
+    }
+    law[i] = ps * pd;
+  }
+  return law;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_TESTING_STAT_CHECK_H_

@@ -22,6 +22,13 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Stateless SplitMix64 finalizer: full-avalanche bijection on 64 bits.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // Stateless 64-bit mix of two values; used to derive per-walker seeds.
 // Diffuses `a` through SplitMix64 before folding in `b`, so nearby small
 // inputs cannot collide structurally.
@@ -31,6 +38,48 @@ inline uint64_t HashCombine64(uint64_t a, uint64_t b) {
   s = ha ^ b;
   return SplitMix64(s);
 }
+
+// Value at position `counter` of the SplitMix64 counter sequence keyed by
+// `key`: Mix64(key + (counter + 1) * golden). Counter mode makes streams
+// splittable — disjoint counter ranges can never share state, which the
+// old sequential-seed derivation could not guarantee (two seeds s and s+k
+// start *overlapping* SplitMix64 sequences).
+inline uint64_t CounterHash64(uint64_t key, uint64_t counter) {
+  return Mix64(key + (counter + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+// Counter-based RNG: a pure function of (key, counter). Same statistical
+// construction as SplitMix64, but the explicit counter makes every draw
+// addressable — ideal for per-walker / per-message decisions that must not
+// depend on arrival or scheduling order (deterministic simulation, fault
+// injection). Fork() yields a child stream whose counter space is disjoint
+// from the parent's and from every other child's.
+class CounterRng {
+ public:
+  explicit CounterRng(uint64_t key, uint64_t counter = 0)
+      : key_(Mix64(key)), counter_(counter) {}
+
+  uint64_t Next() { return CounterHash64(key_, counter_++); }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Child stream `child` re-keys the sequence; children of distinct ids (and
+  // the parent) produce unrelated sequences.
+  CounterRng Fork(uint64_t child) const { return CounterRng(key_ ^ Mix64(~child), 0); }
+
+  uint64_t key() const { return key_; }
+  uint64_t counter() const { return counter_; }
+
+  // UniformRandomBitGenerator interface (std::shuffle et al.).
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  uint64_t key_;
+  uint64_t counter_;
+};
 
 // xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
 class Rng {
@@ -43,6 +92,21 @@ class Rng {
     uint64_t sm = seed;
     for (auto& word : state_) {
       word = SplitMix64(sm);
+    }
+  }
+
+  // Seeds this generator as stream `stream` under `master`: the four state
+  // words are counter positions [4*stream, 4*stream+4) of the SplitMix64
+  // counter sequence keyed by Mix64(master). Streams occupy disjoint counter
+  // blocks, so per-walker (or per-worker) generators can never overlap or
+  // share state words — unlike Seed(f(master, i)) for sequential i, where
+  // two derived seeds d and d' with |d - d'| < 4 would yield overlapping
+  // init sequences. This is the engine's per-walker stream derivation.
+  void SeedStream(uint64_t master, uint64_t stream) {
+    uint64_t key = Mix64(master);
+    uint64_t base = stream * 4;
+    for (int k = 0; k < 4; ++k) {
+      state_[k] = CounterHash64(key, base + static_cast<uint64_t>(k));
     }
   }
 
@@ -100,6 +164,11 @@ class Rng {
 
   uint64_t state_[4];
 };
+
+// RNG stream index reserved for walker deployment (both engines use it, so
+// that walker placement matches across systems); walker i uses stream i, so
+// walker counts must stay below this.
+inline constexpr uint64_t kDeployStream = (uint64_t{1} << 62) - 1;
 
 }  // namespace knightking
 

@@ -108,10 +108,11 @@ TEST(MetaPathTest, WalksFollowAssignedScheme) {
   const auto& graph = engine.graph();
 
   // Recover each walker's scheme assignment deterministically (the engine
-  // seeds walker i with HashCombine64(seed, i + 1) and init_state draws one
-  // uint32 from the walker's RNG).
+  // seeds walker i as RNG stream i under the master seed and init_state
+  // draws one uint32 from the walker's RNG).
   for (walker_id_t i = 0; i < paths.size(); ++i) {
-    Rng rng(HashCombine64(engine.options().seed, i + 1));
+    Rng rng;
+    rng.SeedStream(engine.options().seed, i);
     uint32_t scheme_idx = rng.NextUInt32(2);
     const auto& scheme = params.schemes[scheme_idx];
     const auto& path = paths[i];

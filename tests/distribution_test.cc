@@ -1,0 +1,209 @@
+// Statistical distribution tests: chi-square goodness-of-fit of the
+// rejection engine's *empirical* one-step transition frequencies against the
+// *exact* law P(e) = Ps(e) * Pd(e) computed by full scan
+// (ExactTransitionDistribution).
+//
+// Construction: a probe vertex s is appended to a 200-vertex weighted graph
+// with exactly one positive-weight out-edge s -> c, so every walker's first
+// hop is forced and its second hop — the transition under test, taken from c
+// with prev = s — is a clean i.i.d. sample of the second-order law. Extra
+// zero-weight edges s -> x (never sampled, but structurally adjacent) make
+// the distance-1 Pd class non-empty for node2vec.
+//
+// Methodology (documented in docs/TESTING.md): fixed seeds throughout, one
+// chi-square test per parameter combination, family-wise error controlled at
+// alpha = 0.01 via Bonferroni across the 10-test family, cells pooled below
+// an expected count of 5. The node2vec sweep p, q in {0.25, 1, 4} covers the
+// outlier-folding regime (1/p > max(1, 1/q)) and the lower-bound
+// pre-acceptance path; internal counters assert each path actually ran.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/apps/metapath.h"
+#include "src/apps/node2vec.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/annotate.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/testing/stat_check.h"
+
+namespace knightking {
+namespace {
+
+constexpr vertex_id_t kProbe = 200;  // appended source vertex s
+constexpr vertex_id_t kSubject = 0;  // c: the vertex whose transition law is tested
+constexpr walker_id_t kWalkers = 40000;
+constexpr double kFamilyAlpha = 0.01;
+constexpr size_t kFamilySize = 10;  // 9 node2vec combos + 1 metapath
+
+// Groups an exact per-edge law by destination vertex (multi-edges collapse
+// into one cell) and returns (weights, cell lookup).
+template <typename EdgeData>
+std::pair<std::vector<double>, std::map<vertex_id_t, size_t>> GroupByDestination(
+    const Csr<EdgeData>& graph, const std::vector<double>& law) {
+  auto neighbors = graph.Neighbors(kSubject);
+  std::map<vertex_id_t, size_t> cell;
+  std::vector<double> weights;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    auto [it, inserted] = cell.try_emplace(neighbors[i].neighbor, weights.size());
+    if (inserted) {
+      weights.push_back(0.0);
+    }
+    weights[it->second] += law[i];
+  }
+  return {weights, cell};
+}
+
+TEST(DistributionTest, Node2VecMatchesExactLawAcrossPq) {
+  auto list = AssignUniformWeights(GenerateUniformDegree(200, 10, 301), 0.5f, 2.0f, 302);
+  // Probe wiring: s -> c carries all the mass; zero-weight s -> x edges make
+  // x "adjacent to s" for the Pd = 1 class; c -> s is the return edge.
+  std::vector<vertex_id_t> c_neighbors;
+  for (const auto& e : list.edges) {
+    if (e.src == kSubject && c_neighbors.size() < 4) {
+      c_neighbors.push_back(e.dst);
+    }
+  }
+  ASSERT_EQ(c_neighbors.size(), 4u);
+  list.num_vertices = kProbe + 1;
+  list.edges.push_back({kProbe, kSubject, {1.0f}});
+  list.edges.push_back({kSubject, kProbe, {1.0f}});
+  for (vertex_id_t x : c_neighbors) {
+    list.edges.push_back({kProbe, x, {0.0f}});
+  }
+
+  const double alpha = BonferroniAlpha(kFamilyAlpha, kFamilySize);
+  for (double p : {0.25, 1.0, 4.0}) {
+    for (double q : {0.25, 1.0, 4.0}) {
+      SCOPED_TRACE("p=" + std::to_string(p) + " q=" + std::to_string(q));
+      Node2VecParams params{.p = p, .q = q, .walk_length = 2};
+      WalkEngineOptions opts;
+      opts.num_nodes = 2;
+      opts.collect_paths = true;
+      opts.seed = 0x600d5eedULL + static_cast<uint64_t>(p * 100 + q);
+      WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(list), opts);
+      auto spec = Node2VecTransition(engine.graph(), params);
+      WalkerSpec<> walkers = Node2VecWalkers(kWalkers, params);
+      walkers.start_vertex = [](walker_id_t, Rng&) { return kProbe; };
+      SamplingStats stats = engine.Run(spec, walkers);
+
+      // Exact law of the step taken from c after arriving via s -> c.
+      Walker<> probe_walker;
+      probe_walker.prev = kProbe;
+      probe_walker.cur = kSubject;
+      probe_walker.step = 1;
+      std::vector<double> law =
+          ExactTransitionDistribution(engine.graph(), spec, probe_walker);
+      auto [weights, cell] = GroupByDestination(engine.graph(), law);
+
+      std::vector<uint64_t> counts(weights.size(), 0);
+      for (const auto& path : engine.TakePaths()) {
+        ASSERT_EQ(path.size(), 3u);
+        ASSERT_EQ(path[1], kSubject);
+        counts[cell.at(path[2])] += 1;
+      }
+
+      GofResult gof = ChiSquareGof(counts, weights);
+      EXPECT_GE(gof.p_value, alpha)
+          << "chi2=" << gof.stat << " dof=" << gof.dof << " n=" << gof.samples;
+
+      // The optimization paths under test must actually have run.
+      const bool folding = params.use_outlier && 1.0 / p > std::max(1.0, 1.0 / q);
+      if (folding) {
+        EXPECT_GT(stats.outlier_hits, 0u) << "outlier appendix never exercised";
+      }
+      EXPECT_GT(stats.pre_accepts, 0u) << "lower-bound pre-acceptance never exercised";
+      // At q == 1, distance-1 and distance-2 transitions share Pd, so the app
+      // correctly answers every trial locally (the prev-vertex check needs no
+      // query); state queries only occur when the adjacency bit matters.
+      if (q != 1.0) {
+        EXPECT_GT(stats.queries_remote + stats.queries_local, 0u);
+      }
+    }
+  }
+}
+
+TEST(DistributionTest, MetaPathMatchesExactLaw) {
+  auto list = AssignEdgeTypes(GenerateUniformDegree(200, 10, 303), 3, 304);
+  list.num_vertices = kProbe + 1;
+  // Scheme {0, 1}: the forced first hop s -> c consumes type 0, the measured
+  // step from c must follow a type-1 edge.
+  list.edges.push_back({kProbe, kSubject, {0}});
+  MetaPathParams params;
+  params.schemes = {{0, 1}};
+  params.walk_length = 2;
+
+  WalkEngineOptions opts;
+  opts.num_nodes = 2;
+  opts.collect_paths = true;
+  opts.seed = 0xd15712bULL;
+  WalkEngine<TypedEdgeData, MetaPathWalkerState> engine(
+      Csr<TypedEdgeData>::FromEdgeList(list), opts);
+  auto spec = MetaPathTransition<TypedEdgeData>(params);
+  WalkerSpec<MetaPathWalkerState> walkers = MetaPathWalkers(kWalkers, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return kProbe; };
+  engine.Run(spec, walkers);
+
+  Walker<MetaPathWalkerState> probe_walker;
+  probe_walker.prev = kProbe;
+  probe_walker.cur = kSubject;
+  probe_walker.step = 1;
+  probe_walker.state.scheme = 0;
+  std::vector<double> law = ExactTransitionDistribution(engine.graph(), spec, probe_walker);
+  double total = 0.0;
+  for (double w : law) {
+    total += w;
+  }
+  ASSERT_GT(total, 0.0) << "subject vertex has no type-1 out-edge; bad fixture";
+  auto [weights, cell] = GroupByDestination(engine.graph(), law);
+
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (const auto& path : engine.TakePaths()) {
+    ASSERT_EQ(path.size(), 3u);
+    ASSERT_EQ(path[1], kSubject);
+    counts[cell.at(path[2])] += 1;
+  }
+
+  GofResult gof = ChiSquareGof(counts, weights);
+  EXPECT_GE(gof.p_value, BonferroniAlpha(kFamilyAlpha, kFamilySize))
+      << "chi2=" << gof.stat << " dof=" << gof.dof << " n=" << gof.samples;
+}
+
+// Sanity power check: a deliberately wrong law must be rejected — guards
+// against a stat helper that silently returns p = 1.
+TEST(DistributionTest, WrongLawIsRejected) {
+  auto list = AssignUniformWeights(GenerateUniformDegree(200, 10, 305), 0.5f, 2.0f, 306);
+  list.num_vertices = kProbe + 1;
+  list.edges.push_back({kProbe, kSubject, {1.0f}});
+  list.edges.push_back({kSubject, kProbe, {1.0f}});
+
+  Node2VecParams params{.p = 0.25, .q = 4.0, .walk_length = 2};
+  WalkEngineOptions opts;
+  opts.num_nodes = 2;
+  opts.collect_paths = true;
+  opts.seed = 0xbadc0deULL;
+  WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(list), opts);
+  auto spec = Node2VecTransition(engine.graph(), params);
+  WalkerSpec<> walkers = Node2VecWalkers(kWalkers, params);
+  walkers.start_vertex = [](walker_id_t, Rng&) { return kProbe; };
+  engine.Run(spec, walkers);
+
+  // "Wrong" law: pretend the walk were first-order (Ps only, no Pd bias).
+  auto neighbors = engine.graph().Neighbors(kSubject);
+  std::vector<double> wrong_law(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    wrong_law[i] = static_cast<double>(StaticWeight(neighbors[i].data));
+  }
+  auto [weights, cell] = GroupByDestination(engine.graph(), wrong_law);
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (const auto& path : engine.TakePaths()) {
+    counts[cell.at(path[2])] += 1;
+  }
+  GofResult gof = ChiSquareGof(counts, weights);
+  EXPECT_LT(gof.p_value, 1e-6) << "wrong law not rejected; test family has no power";
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,117 @@
+// Unit tests for the statistical assertion library (src/testing/stat_check).
+// The gamma / Kolmogorov machinery is validated against closed forms:
+// chi-square with dof 2 has survival exp(-x/2), and Q(1/2, x) = erfc(sqrt(x)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/testing/stat_check.h"
+#include "src/util/rng.h"
+
+namespace knightking {
+namespace {
+
+TEST(StatCheckTest, RegularizedGammaQClosedForms) {
+  // Q(1, x) = exp(-x).
+  for (double x : {0.1, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(1.0, x), std::exp(-x), 1e-10);
+  }
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(0.5, x), std::erfc(std::sqrt(x)), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(1.0, 0.0), 1.0);
+}
+
+TEST(StatCheckTest, ChiSquarePValueMatchesDofTwoClosedForm) {
+  for (double stat : {0.5, 2.0, 5.0, 15.0}) {
+    EXPECT_NEAR(ChiSquarePValue(stat, 2), std::exp(-stat / 2.0), 1e-10);
+  }
+  // Known quantile: P(X >= 3.841 | dof 1) = 0.05.
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquarePValue(0.0, 5), 1.0);
+}
+
+TEST(StatCheckTest, KsPValueKnownPoints) {
+  // Kolmogorov distribution: K(1.36) ~ 0.951 => p ~ 0.049 at large n.
+  // With the small-sample correction, d = 1.36 / sqrt(n) gives p near 0.05.
+  double d = 1.36 / std::sqrt(1000.0);
+  double p = KsPValue(d, 1000);
+  EXPECT_NEAR(p, 0.05, 0.01);
+  EXPECT_GT(KsPValue(0.001, 1000), 0.999);
+}
+
+TEST(StatCheckTest, BonferroniAlphaDividesEvenly) {
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.05, 10), 0.005);
+  EXPECT_DOUBLE_EQ(BonferroniAlpha(0.01, 1), 0.01);
+}
+
+TEST(StatCheckTest, ChiSquareGofAcceptsMatchingCounts) {
+  // Counts drawn proportional to the weights: p should be comfortable.
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  Rng rng(12345);
+  std::vector<uint64_t> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    double r = rng.NextDouble(10.0);
+    counts[r < 1.0 ? 0 : r < 3.0 ? 1 : r < 6.0 ? 2 : 3] += 1;
+  }
+  GofResult gof = ChiSquareGof(counts, weights);
+  EXPECT_EQ(gof.samples, 20000u);
+  EXPECT_EQ(gof.dof, 3u);
+  EXPECT_GT(gof.p_value, 0.001);
+}
+
+TEST(StatCheckTest, ChiSquareGofRejectsMismatchedCounts) {
+  std::vector<double> weights = {1.0, 1.0, 1.0, 1.0};
+  std::vector<uint64_t> counts = {5000, 5000, 5000, 8000};
+  GofResult gof = ChiSquareGof(counts, weights);
+  EXPECT_LT(gof.p_value, 1e-9);
+}
+
+TEST(StatCheckTest, ChiSquareGofPoolsSparseCells) {
+  // 1000 samples, one cell with expected ~0.5: must be pooled, leaving a
+  // valid test instead of a degenerate one.
+  std::vector<double> weights = {1000.0, 1000.0, 1.0};
+  std::vector<uint64_t> counts = {500, 499, 1};
+  GofResult gof = ChiSquareGof(counts, weights);
+  EXPECT_LT(gof.dof, 2u);  // the sparse cell no longer stands alone
+  EXPECT_GT(gof.p_value, 0.001);
+}
+
+TEST(StatCheckTest, KsTestAcceptsUniformAndRejectsShifted) {
+  Rng rng(999);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(rng.NextDouble());
+  }
+  auto uniform_cdf = [](double x) { return x < 0.0 ? 0.0 : x > 1.0 ? 1.0 : x; };
+  GofResult ok = KsTest(samples, uniform_cdf);
+  EXPECT_GT(ok.p_value, 0.001);
+
+  auto skewed_cdf = [](double x) {
+    double c = x < 0.0 ? 0.0 : x > 1.0 ? 1.0 : x;
+    return c * c;  // claims samples concentrate near 1
+  };
+  GofResult bad = KsTest(samples, skewed_cdf);
+  EXPECT_LT(bad.p_value, 1e-9);
+}
+
+// End-to-end check of the walker RNG through the KS machinery: per-stream
+// doubles must be uniform (this is the statistical half of the seeding
+// audit; determinism_test covers the structural half).
+TEST(StatCheckTest, WalkerStreamDoublesAreUniform) {
+  Rng rng;
+  rng.SeedStream(2026, 17);
+  std::vector<double> samples;
+  samples.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(rng.NextDouble());
+  }
+  GofResult gof = KsTest(samples, [](double x) { return x; });
+  EXPECT_GT(gof.p_value, 0.001);
+}
+
+}  // namespace
+}  // namespace knightking
