@@ -99,7 +99,8 @@ int main() {
                     : AssignUniformWeights(base, 1.0f, std::max(max_w, 1.0001f), kWeightSeed);
       double mixed = RunOne(list, false, max_w);
       double decoupled = RunOne(list, true, max_w);
-      std::printf("%-10s %10.0f | %12.3f %12.3f | %12.2f %12s\n", kind, max_w, mixed,
+      std::printf("%-10s %10.0f | %12.3f %12.3f | %12.2f %12s\n", kind,
+                  static_cast<double>(max_w), mixed,
                   decoupled, mixed / decoupled, "grows");
     }
   }

@@ -17,7 +17,7 @@ namespace {
 void BM_MailboxExchange(benchmark::State& state) {
   node_rank_t nodes = 8;
   Mailbox<uint64_t> mail(nodes);
-  size_t batch = state.range(0);
+  auto batch = static_cast<size_t>(state.range(0));
   std::vector<uint64_t> payload(batch, 42);
   for (auto _ : state) {
     for (node_rank_t s = 0; s < nodes; ++s) {
@@ -31,7 +31,7 @@ void BM_MailboxExchange(benchmark::State& state) {
       benchmark::DoNotOptimize(mail.Inbox(d).size());
     }
   }
-  state.SetItemsProcessed(state.iterations() * nodes * nodes * batch);
+  state.SetItemsProcessed(state.iterations() * nodes * nodes * static_cast<int64_t>(batch));
 }
 BENCHMARK(BM_MailboxExchange)->Range(64, 1 << 12);
 
@@ -39,7 +39,7 @@ BENCHMARK(BM_MailboxExchange)->Range(64, 1 << 12);
 // pays in full mode even when almost no walkers remain, and what light mode
 // eliminates (§6.2).
 void BM_PoolDispatch(benchmark::State& state) {
-  ThreadPool pool(state.range(0));
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     pool.ParallelFor(256, [](size_t, size_t) {});
   }
@@ -56,7 +56,7 @@ void BM_StaticWalkSteps(benchmark::State& state) {
     steps += engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(2000, params))
                  .steps;
   }
-  state.SetItemsProcessed(steps);
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
 }
 BENCHMARK(BM_StaticWalkSteps);
 
@@ -71,7 +71,7 @@ void BM_Node2VecWalkSteps(benchmark::State& state) {
                         Node2VecWalkers(2000, params))
                  .steps;
   }
-  state.SetItemsProcessed(steps);
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
 }
 BENCHMARK(BM_Node2VecWalkSteps);
 
@@ -87,7 +87,7 @@ void BM_Node2VecDistributedSteps(benchmark::State& state) {
                         Node2VecWalkers(2000, params))
                  .steps;
   }
-  state.SetItemsProcessed(steps);
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
 }
 BENCHMARK(BM_Node2VecDistributedSteps)->Arg(1)->Arg(4)->Arg(8);
 

@@ -12,18 +12,18 @@ namespace knightking {
 namespace {
 
 void BM_GenerateUniform(benchmark::State& state) {
-  vertex_id_t n = state.range(0);
+  auto n = static_cast<vertex_id_t>(state.range(0));
   uint64_t seed = 1;
   for (auto _ : state) {
     auto list = GenerateUniformDegree(n, 16, seed++);
     benchmark::DoNotOptimize(list);
   }
-  state.SetItemsProcessed(state.iterations() * n * 16);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 16);
 }
 BENCHMARK(BM_GenerateUniform)->Range(1 << 10, 1 << 15);
 
 void BM_GeneratePowerLaw(benchmark::State& state) {
-  vertex_id_t n = state.range(0);
+  auto n = static_cast<vertex_id_t>(state.range(0));
   uint64_t seed = 1;
   for (auto _ : state) {
     auto list = GenerateTruncatedPowerLaw(n, 2.0, 4, n / 4, seed++);
@@ -33,18 +33,18 @@ void BM_GeneratePowerLaw(benchmark::State& state) {
 BENCHMARK(BM_GeneratePowerLaw)->Range(1 << 10, 1 << 15);
 
 void BM_CsrBuild(benchmark::State& state) {
-  auto list = GenerateUniformDegree(state.range(0), 32, 5);
+  auto list = GenerateUniformDegree(static_cast<vertex_id_t>(state.range(0)), 32, 5);
   for (auto _ : state) {
     auto csr = Csr<EmptyEdgeData>::FromEdgeList(list);
     benchmark::DoNotOptimize(csr);
   }
-  state.SetItemsProcessed(state.iterations() * list.edges.size());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(list.edges.size()));
 }
 BENCHMARK(BM_CsrBuild)->Range(1 << 10, 1 << 15);
 
 void BM_NeighborQuery(benchmark::State& state) {
   auto csr = Csr<EmptyEdgeData>::FromEdgeList(
-      GenerateTruncatedPowerLaw(1 << 14, 2.0, 4, state.range(0), 9));
+      GenerateTruncatedPowerLaw(1 << 14, 2.0, 4, static_cast<vertex_id_t>(state.range(0)), 9));
   Rng rng(3);
   vertex_id_t n = csr.num_vertices();
   for (auto _ : state) {
@@ -63,7 +63,7 @@ void BM_PartitionBuild(benchmark::State& state) {
     degrees[v] = csr.OutDegree(v);
   }
   for (auto _ : state) {
-    Partition p = Partition::FromDegrees(degrees, state.range(0));
+    Partition p = Partition::FromDegrees(degrees, static_cast<node_rank_t>(state.range(0)));
     benchmark::DoNotOptimize(p);
   }
 }
@@ -71,7 +71,7 @@ BENCHMARK(BM_PartitionBuild)->Arg(2)->Arg(8)->Arg(64);
 
 void BM_OwnerLookup(benchmark::State& state) {
   std::vector<vertex_id_t> degrees(1 << 15, 16);
-  Partition p = Partition::FromDegrees(degrees, state.range(0));
+  Partition p = Partition::FromDegrees(degrees, static_cast<node_rank_t>(state.range(0)));
   Rng rng(7);
   for (auto _ : state) {
     auto v = static_cast<vertex_id_t>(rng.NextUInt64(degrees.size()));

@@ -23,7 +23,7 @@ std::vector<real_t> MakeWeights(size_t n, uint64_t seed = 7) {
 }
 
 void BM_AliasBuild(benchmark::State& state) {
-  auto weights = MakeWeights(state.range(0));
+  auto weights = MakeWeights(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     AliasTable table(weights);
     benchmark::DoNotOptimize(table);
@@ -33,7 +33,7 @@ void BM_AliasBuild(benchmark::State& state) {
 BENCHMARK(BM_AliasBuild)->Range(8, 1 << 16);
 
 void BM_ItsBuild(benchmark::State& state) {
-  auto weights = MakeWeights(state.range(0));
+  auto weights = MakeWeights(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     InverseTransformSampler its(weights);
     benchmark::DoNotOptimize(its);
@@ -43,7 +43,7 @@ void BM_ItsBuild(benchmark::State& state) {
 BENCHMARK(BM_ItsBuild)->Range(8, 1 << 16);
 
 void BM_AliasSample(benchmark::State& state) {
-  auto weights = MakeWeights(state.range(0));
+  auto weights = MakeWeights(static_cast<size_t>(state.range(0)));
   AliasTable table(weights);
   Rng rng(11);
   for (auto _ : state) {
@@ -54,7 +54,7 @@ void BM_AliasSample(benchmark::State& state) {
 BENCHMARK(BM_AliasSample)->Range(8, 1 << 16);
 
 void BM_ItsSample(benchmark::State& state) {
-  auto weights = MakeWeights(state.range(0));
+  auto weights = MakeWeights(static_cast<size_t>(state.range(0)));
   InverseTransformSampler its(weights);
   Rng rng(11);
   for (auto _ : state) {
@@ -67,8 +67,8 @@ BENCHMARK(BM_ItsSample)->Range(8, 1 << 16);
 // One rejection trial: uniform candidate + one Pd evaluation. Cost is flat
 // in the degree...
 void BM_RejectionTrial(benchmark::State& state) {
-  size_t degree = state.range(0);
-  auto pd = [](size_t i) { return 0.5f + 0.5f * (i % 2); };
+  auto degree = static_cast<size_t>(state.range(0));
+  auto pd = [](size_t i) { return i % 2 == 0 ? 0.5f : 1.0f; };
   Rng rng(13);
   for (auto _ : state) {
     size_t candidate = rng.NextUInt64(degree);
@@ -81,20 +81,20 @@ BENCHMARK(BM_RejectionTrial)->Range(8, 1 << 16);
 
 // ...whereas the full scan recomputes Pd for every edge and builds a CDF.
 void BM_FullScanStep(benchmark::State& state) {
-  size_t degree = state.range(0);
-  auto pd = [](size_t i) { return 0.5f + 0.5f * (i % 2); };
+  auto degree = static_cast<size_t>(state.range(0));
+  auto pd = [](size_t i) { return i % 2 == 0 ? 0.5f : 1.0f; };
   Rng rng(13);
   std::vector<double> cdf(degree);
   for (auto _ : state) {
     double sum = 0.0;
     for (size_t i = 0; i < degree; ++i) {
-      sum += pd(i);
+      sum += static_cast<double>(pd(i));
       cdf[i] = sum;
     }
     double r = rng.NextDouble(sum);
     benchmark::DoNotOptimize(std::upper_bound(cdf.begin(), cdf.end(), r));
   }
-  state.SetItemsProcessed(state.iterations() * degree);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(degree));
 }
 BENCHMARK(BM_FullScanStep)->Range(8, 1 << 16);
 

@@ -2,9 +2,9 @@
 
 namespace knightking {
 
-std::unordered_map<vertex_id_t, double> EstimatePprScores(
+std::map<vertex_id_t, double> EstimatePprScores(
     std::span<const std::vector<vertex_id_t>> paths, vertex_id_t source) {
-  std::unordered_map<vertex_id_t, double> scores;
+  std::map<vertex_id_t, double> scores;
   uint64_t total = 0;
   for (const auto& path : paths) {
     if (path.empty() || path.front() != source) {

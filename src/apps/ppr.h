@@ -9,8 +9,8 @@
 #ifndef SRC_APPS_PPR_H_
 #define SRC_APPS_PPR_H_
 
+#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "src/engine/transition.h"
@@ -40,7 +40,10 @@ inline WalkerSpec<> PprWalkers(walker_id_t num_walkers, const PprParams& params)
 // `source`, every visited vertex contributes one count; scores normalize to
 // sum 1. (Decayed variants exist; the plain stationary-visit estimator is
 // what walk-sequence stores like PowerWalk serve.)
-std::unordered_map<vertex_id_t, double> EstimatePprScores(
+//
+// Returned ordered by vertex id so callers and tests never observe hashing
+// order; iterate-and-print is reproducible across runs and platforms.
+std::map<vertex_id_t, double> EstimatePprScores(
     std::span<const std::vector<vertex_id_t>> paths, vertex_id_t source);
 
 }  // namespace knightking

@@ -126,9 +126,9 @@ double SkipGramModel::Cosine(vertex_id_t a, vertex_id_t b) const {
   double na = 0.0;
   double nb = 0.0;
   for (size_t d = 0; d < ea.size(); ++d) {
-    dot += static_cast<double>(ea[d]) * eb[d];
-    na += static_cast<double>(ea[d]) * ea[d];
-    nb += static_cast<double>(eb[d]) * eb[d];
+    dot += static_cast<double>(ea[d]) * static_cast<double>(eb[d]);
+    na += static_cast<double>(ea[d]) * static_cast<double>(ea[d]);
+    nb += static_cast<double>(eb[d]) * static_cast<double>(eb[d]);
   }
   if (na <= 0.0 || nb <= 0.0) {
     return 0.0;
@@ -146,7 +146,8 @@ std::vector<std::pair<double, vertex_id_t>> SkipGramModel::MostSimilar(vertex_id
     }
   }
   size_t top = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(top),
+                    scored.end(),
                     [](const auto& a, const auto& b) { return a.first > b.first; });
   scored.resize(top);
   return scored;

@@ -366,7 +366,7 @@ class WalkEngine {
   struct Scratch {
     std::vector<std::vector<WalkerT>> moves;  // per destination node
     std::vector<WalkerT> stay;
-    std::vector<PendingTrial> pending;
+    std::vector<PendingTrial> pending_trials;
     std::vector<QueryMsg> queries;
     std::vector<InFlightMove> tracked;  // copies awaiting acknowledgement
     std::vector<PathEntry> paths;
@@ -685,7 +685,7 @@ class WalkEngine {
     pending.epoch = superstep_;
     scratch.queries.push_back({w.id, r.query_target, subject, node_rank, superstep_});
     pending.walker = std::move(w);
-    scratch.pending.push_back(std::move(pending));
+    scratch.pending_trials.push_back(std::move(pending));
   }
 
   // Merges chunk-local results into node state and mailboxes.
@@ -697,8 +697,8 @@ class WalkEngine {
                               std::make_move_iterator(scratch.stay.begin()),
                               std::make_move_iterator(scratch.stay.end()));
       node.path_log.insert(node.path_log.end(), scratch.paths.begin(), scratch.paths.end());
-      KK_CHECK(scratch.pending.size() == scratch.queries.size());
-      for (auto& trial : scratch.pending) {
+      KK_CHECK(scratch.pending_trials.size() == scratch.queries.size());
+      for (auto& trial : scratch.pending_trials) {
         walker_id_t id = trial.walker.id;
         bool inserted = node.pending.emplace(id, std::move(trial)).second;
         KK_CHECK(inserted);  // one in-flight trial per walker
@@ -827,6 +827,9 @@ class WalkEngine {
         // re-queried after retry_timeout supersteps.
         std::vector<PendingTrial> resolved;
         resolved.reserve(node.pending.size());
+        // Visit order only affects the transient order of `resolved`, which is
+        // consumed through a per-walker SeedStream Rng; walker results do not
+        // depend on it. kk-lint: nondeterministic-order-ok
         for (auto it = node.pending.begin(); it != node.pending.end();) {
           if (it->second.responded) {
             resolved.push_back(std::move(it->second));
@@ -930,6 +933,9 @@ class WalkEngine {
           }
         }
         ack_mail_->Inbox(n).clear();
+        // Retransmit bookkeeping is per-entry and commutative; receivers dedup
+        // by (walker, step), so posting order cannot change observable state.
+        // kk-lint: nondeterministic-order-ok
         for (auto& [id, fl] : node.in_flight) {
           if (++fl.age >= options_.retry_timeout) {
             KK_CHECK(fl.retries < options_.max_retries);

@@ -48,6 +48,9 @@ double BuildAliasRow(std::span<const real_t> weights, std::span<real_t> prob,
     uint32_t s = small.back();
     small.pop_back();
     uint32_t l = large.back();
+    // Intentional: construction math stays in double (`scaled`); this is the
+    // storage boundary where bucket probabilities land in the real_t table.
+    // kk-lint: narrow-ok
     prob[s] = static_cast<real_t>(scaled[s]);
     alias[s] = l;
     scaled[l] -= 1.0 - scaled[s];

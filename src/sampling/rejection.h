@@ -60,6 +60,9 @@ class RejectionRow {
         stats->trials += 1;
       }
       size_t candidate = alias_.Sample(rng);
+      // Intentional: y is compared against real_t bounds/probabilities, so it
+      // must live in the same precision as P(e) or the acceptance test would
+      // mix widths. kk-lint: narrow-ok
       real_t y = static_cast<real_t>(rng.NextDouble(options_.upper_bound));
       if (options_.lower_bound > 0.0f && y < options_.lower_bound) {
         if (stats != nullptr) {

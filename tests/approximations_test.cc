@@ -130,7 +130,7 @@ TEST(HybridTest, HubSamplingBecomesStatic) {
     uint64_t total = 0;
     for (const auto& path : engine.TakePaths()) {
       if (path.size() == 3 && path[1] == 0) {  // leaf -> center -> ?
-        returns += path[2] == path[0] ? 1 : 0;
+        returns += path[2] == path[0] ? 1u : 0u;
         ++total;
       }
     }

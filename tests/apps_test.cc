@@ -200,7 +200,7 @@ TEST(Node2VecTest, ReturnFrequencyScalesWithInverseP) {
     uint64_t moves = 0;
     for (const auto& path : engine.TakePaths()) {
       for (size_t k = 2; k < path.size(); ++k) {
-        returns += path[k] == path[k - 2] ? 1 : 0;
+        returns += path[k] == path[k - 2] ? 1u : 0u;
         ++moves;
       }
     }

@@ -167,27 +167,27 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
 // blocks cannot. Spot-check no shared state words and no identical draws.
 TEST(DeterminismTest, WalkerStreamsAreDisjoint) {
   constexpr uint64_t kMaster = 42;
-  constexpr int kStreams = 64;
-  constexpr int kDraws = 32;
+  constexpr size_t kStreams = 64;
+  constexpr size_t kDraws = 32;
   std::vector<std::vector<uint64_t>> draws(kStreams);
-  for (int s = 0; s < kStreams; ++s) {
+  for (size_t s = 0; s < kStreams; ++s) {
     Rng rng;
-    rng.SeedStream(kMaster, static_cast<uint64_t>(s));
-    for (int d = 0; d < kDraws; ++d) {
+    rng.SeedStream(kMaster, s);
+    for (size_t d = 0; d < kDraws; ++d) {
       draws[s].push_back(rng.Next());
     }
   }
-  for (int a = 0; a < kStreams; ++a) {
-    for (int b = a + 1; b < kStreams; ++b) {
+  for (size_t a = 0; a < kStreams; ++a) {
+    for (size_t b = a + 1; b < kStreams; ++b) {
       // No aligned collision and no single-offset shift relation.
       size_t equal = 0;
-      for (int d = 0; d < kDraws; ++d) {
-        equal += draws[a][d] == draws[b][d] ? 1 : 0;
+      for (size_t d = 0; d < kDraws; ++d) {
+        equal += draws[a][d] == draws[b][d] ? 1u : 0u;
       }
       EXPECT_EQ(equal, 0u) << "streams " << a << " and " << b;
       size_t shifted = 0;
-      for (int d = 0; d + 1 < kDraws; ++d) {
-        shifted += draws[a][d + 1] == draws[b][d] ? 1 : 0;
+      for (size_t d = 0; d + 1 < kDraws; ++d) {
+        shifted += draws[a][d + 1] == draws[b][d] ? 1u : 0u;
       }
       EXPECT_EQ(shifted, 0u) << "streams " << a << " and " << b;
     }

@@ -111,7 +111,7 @@ TEST(OnMoveHookTest, AccumulatesTraversedWeights) {
   TransitionSpec<WeightedEdgeData, SumState> transition;
   transition.on_move = [&final_sums](Walker<SumState>& w, vertex_id_t,
                                      const AdjUnit<WeightedEdgeData>& e) {
-    w.state.weight_sum += e.data.weight;
+    w.state.weight_sum += static_cast<double>(e.data.weight);
     final_sums[w.id] = w.state.weight_sum;
   };
   WalkerSpec<SumState> walkers;
@@ -125,7 +125,7 @@ TEST(OnMoveHookTest, AccumulatesTraversedWeights) {
     for (size_t k = 0; k + 1 < paths[i].size(); ++k) {
       auto idx = g.FindNeighbor(paths[i][k], paths[i][k + 1]);
       ASSERT_TRUE(idx.has_value());
-      expected += g.Neighbors(paths[i][k])[*idx].data.weight;
+      expected += static_cast<double>(g.Neighbors(paths[i][k])[*idx].data.weight);
     }
     EXPECT_NEAR(final_sums[i], expected, 1e-4) << "walker " << i;
   }

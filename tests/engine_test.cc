@@ -204,12 +204,13 @@ TEST(WalkEngineTest, BiasedDynamicProductExactness) {
   auto weighted = AssignUniformWeights(GenerateUniformDegree(50, 8, 7), 1.0f, 5.0f, 10);
   auto csr = Csr<WeightedEdgeData>::FromEdgeList(weighted);
   const vertex_id_t start = 21;
-  auto pd_of = [](vertex_id_t dst) { return 0.2f + 0.8f * (dst % 2); };
+  auto pd_of = [](vertex_id_t dst) { return dst % 2 == 0 ? 0.2f : 1.0f; };
   std::vector<double> weights;
   std::map<vertex_id_t, size_t> index;
   for (const auto& adj : csr.Neighbors(start)) {
     index[adj.neighbor] = weights.size();
-    weights.push_back(static_cast<double>(adj.data.weight) * pd_of(adj.neighbor));
+    weights.push_back(static_cast<double>(adj.data.weight) *
+                      static_cast<double>(pd_of(adj.neighbor)));
   }
   WalkEngineOptions opts;
   opts.collect_paths = true;
@@ -235,7 +236,7 @@ TEST(WalkEngineTest, BiasedDynamicProductExactness) {
 // skip Pd computations.
 TEST(WalkEngineTest, LowerBoundPreservesDistributionAndSavesWork) {
   auto graph = GenerateUniformDegree(60, 10, 8);
-  auto pd_of = [](vertex_id_t dst) { return 0.5f + 0.5f * (dst % 2); };  // in {0.5, 1}
+  auto pd_of = [](vertex_id_t dst) { return dst % 2 == 0 ? 0.5f : 1.0f; };  // in {0.5, 1}
 
   auto run = [&](bool use_lower) {
     WalkEngineOptions opts;

@@ -40,7 +40,8 @@ TEST_P(RandomDynamicLawTest, EngineAndBaselineMatchAnalyticLaw) {
   std::map<vertex_id_t, size_t> index;
   for (const auto& adj : csr.Neighbors(start)) {
     index[adj.neighbor] = law.size();
-    law.push_back(static_cast<double>(adj.data.weight) * RandomPd(fn_seed, adj.neighbor));
+    law.push_back(static_cast<double>(adj.data.weight) *
+                  static_cast<double>(RandomPd(fn_seed, adj.neighbor)));
   }
 
   TransitionSpec<WeightedEdgeData> transition;

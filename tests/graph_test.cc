@@ -208,7 +208,7 @@ TEST(GeneratorTest, GraphIsSymmetric) {
 }
 
 TEST(GeneratorTest, NoSelfLoops) {
-  for (auto list : {GenerateUniformDegree(300, 10, 1),
+  for (const auto& list : {GenerateUniformDegree(300, 10, 1),
                     GenerateTruncatedPowerLaw(300, 2.1, 2, 50, 2),
                     GenerateRmat(8, 8, 0.57, 0.19, 0.19, 3)}) {
     for (const auto& e : list.edges) {

@@ -1,0 +1,155 @@
+// Golden tests for kk-lint: each fixture under tools/kk-lint/testdata/
+// seeds violations of exactly one rule; the waived fixture must be clean.
+// The fixture tree mirrors the repo layout (testdata/src/engine/...), so
+// path-scoped rules fire exactly as they would on real sources.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/kk-lint/lint.h"
+
+namespace kklint {
+namespace {
+
+#ifndef KK_LINT_TESTDATA_DIR
+#error "KK_LINT_TESTDATA_DIR must be defined by the build"
+#endif
+
+std::string ReadFixture(const std::string& rel) {
+  std::string path = std::string(KK_LINT_TESTDATA_DIR) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::set<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::set<std::string> ids;
+  for (const auto& f : findings) {
+    ids.insert(f.rule);
+  }
+  return ids;
+}
+
+// Lints a fixture with its testdata-relative path (which mirrors the repo
+// layout, so scoping behaves identically).
+std::vector<Finding> LintFixture(const std::string& rel) {
+  return LintContent(rel, ReadFixture(rel));
+}
+
+TEST(KkLintTest, Kk001AmbientRandomnessFixture) {
+  auto findings = LintFixture("src/apps/kk001_ambient.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK001"});
+  EXPECT_GE(findings.size(), 4u);  // time(nullptr), random_device, mt19937, rand
+}
+
+TEST(KkLintTest, Kk002RawSeedFixture) {
+  auto findings = LintFixture("src/engine/kk002_raw_seed.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK002"});
+  EXPECT_EQ(findings.size(), 2u);  // literal ctor + literal Seed()
+}
+
+TEST(KkLintTest, Kk003UnorderedIterationFixture) {
+  auto findings = LintFixture("src/engine/kk003_unordered_iter.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK003"});
+  EXPECT_EQ(findings.size(), 2u);  // range-for + iterator loop
+}
+
+TEST(KkLintTest, Kk004SamplingNarrowingFixture) {
+  auto findings = LintFixture("src/sampling/kk004_narrowing.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK004"});
+  EXPECT_EQ(findings.size(), 2u);  // float fold + integer truncation
+}
+
+TEST(KkLintTest, Kk005UncheckedReadFixture) {
+  auto findings = LintFixture("src/engine/kk005_unchecked_read.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK005"});
+  EXPECT_EQ(findings.size(), 2u);  // two unguarded variable-index reads
+}
+
+TEST(KkLintTest, WaiversSilenceEveryRule) {
+  auto findings = LintFixture("src/engine/waived.cc");
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s), first: "
+                                << (findings.empty() ? "" : findings[0].message);
+}
+
+// The same violating content is legal outside the rule's path scope.
+TEST(KkLintTest, ScopingDisablesRulesOutsideTheirDirs) {
+  std::string engine_content = ReadFixture("src/engine/kk003_unordered_iter.cc");
+  EXPECT_TRUE(LintContent("bench/kk003_unordered_iter.cc", engine_content).empty());
+  std::string sampling_content = ReadFixture("src/sampling/kk004_narrowing.cc");
+  EXPECT_TRUE(LintContent("src/graph/kk004_narrowing.cc", sampling_content).empty());
+  std::string seed_content = ReadFixture("src/engine/kk002_raw_seed.cc");
+  EXPECT_TRUE(LintContent("tests/kk002_raw_seed.cc", seed_content).empty());
+}
+
+// KK001 applies tree-wide but the primitives' home file is exempt.
+TEST(KkLintTest, RngHeaderIsExemptFromKk001) {
+  std::string content = "#include <random>\nstd::mt19937 gen;\n";
+  EXPECT_FALSE(LintContent("src/other/rng_like.h", content).empty());
+  EXPECT_TRUE(LintContent("src/util/rng.h", content).empty());
+}
+
+TEST(KkLintTest, TokensInCommentsAndStringsDoNotFire) {
+  std::string content =
+      "// std::mt19937 is banned, as is time(nullptr)\n"
+      "const char* kDoc = \"never use std::rand or random_device\";\n"
+      "/* block comment: srand(time(0)) */\n";
+  EXPECT_TRUE(LintContent("src/engine/comments.cc", content).empty());
+}
+
+TEST(KkLintTest, WaiverOnPrecedingLineWorks) {
+  std::string content =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void F() {\n"
+      "  // kk-lint: nondeterministic-order-ok\n"
+      "  for (const auto& [k, v] : m) {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/engine/waiver_above.cc", content).empty());
+}
+
+TEST(KkLintTest, FindingsCarryLineNumbersAndWaiverTags) {
+  auto findings = LintFixture("src/engine/kk002_raw_seed.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  std::vector<size_t> lines;
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.waiver, "raw-seed-ok");
+    EXPECT_EQ(f.path, "src/engine/kk002_raw_seed.cc");
+    lines.push_back(f.line);
+  }
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+  EXPECT_GT(lines.front(), 1u);  // points at the violation, not the file head
+}
+
+TEST(KkLintTest, ParseCompileCommandsExtractsFiles) {
+  std::string json =
+      "[{\"directory\": \"/b\", \"command\": \"c++ -c x.cc\", "
+      "\"file\": \"/repo/src/a.cc\"},\n"
+      " {\"directory\": \"/b\", \"file\": \"/repo/tests/b_test.cc\"}]";
+  auto files = ParseCompileCommands(json);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/repo/src/a.cc");
+  EXPECT_EQ(files[1], "/repo/tests/b_test.cc");
+}
+
+TEST(KkLintTest, RuleCatalogIsCompleteAndStable) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_STREQ(rules[0].id, "KK001");
+  EXPECT_STREQ(rules[4].id, "KK005");
+  for (const auto& r : rules) {
+    EXPECT_NE(std::string(r.waiver_tag), "");
+    EXPECT_NE(std::string(r.remediation), "");
+  }
+}
+
+}  // namespace
+}  // namespace kklint

@@ -100,7 +100,7 @@ TEST_P(RejectionTrialCountTest, MeasuredTrialsMatchEquation3) {
   uint64_t edges = 0;
   for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
     for (const auto& adj : csr.Neighbors(v)) {
-      sum_pd += pd_of(adj.neighbor);
+      sum_pd += static_cast<double>(pd_of(adj.neighbor));
       ++edges;
     }
   }

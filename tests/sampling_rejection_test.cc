@@ -38,7 +38,7 @@ TEST(RejectionRowTest, BiasedStaticTimesDynamic) {
   std::vector<uint64_t> counts(ps.size(), 0);
   std::vector<double> law(ps.size());
   for (size_t i = 0; i < ps.size(); ++i) {
-    law[i] = static_cast<double>(ps[i]) * pd(i);
+    law[i] = static_cast<double>(ps[i]) * static_cast<double>(pd(i));
   }
   SamplingStats stats;
   for (int k = 0; k < 120000; ++k) {

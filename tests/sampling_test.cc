@@ -23,19 +23,20 @@ double ChiSquare(const std::vector<uint64_t>& counts, const std::vector<real_t>&
   double total_w = 0.0;
   uint64_t total_c = 0;
   for (real_t w : weights) {
-    total_w += w;
+    total_w += static_cast<double>(w);
   }
   for (uint64_t c : counts) {
     total_c += c;
   }
   double chi2 = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
-    double expected = static_cast<double>(total_c) * weights[i] / total_w;
+    double expected = static_cast<double>(total_c) * static_cast<double>(weights[i]) / total_w;
     if (weights[i] == 0.0f) {
       EXPECT_EQ(counts[i], 0u) << "zero-weight index " << i << " was sampled";
       continue;
     }
-    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+    double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
   }
   return chi2;
 }
@@ -100,7 +101,7 @@ TEST(AliasTableTest, ExtremeSkew) {
   uint64_t hits = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
-    hits += table.Sample(rng) == 37 ? 1 : 0;
+    hits += table.Sample(rng) == 37 ? 1u : 0u;
   }
   // P(37) = 1000 / 1000.099 > 0.9998.
   EXPECT_GT(hits, static_cast<uint64_t>(n * 0.999));

@@ -30,7 +30,8 @@ inline double ChiSquareVsWeights(const std::vector<uint64_t>& counts,
       continue;
     }
     double expected = static_cast<double>(total_c) * weights[i] / total_w;
-    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+    double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
   }
   return chi2;
 }

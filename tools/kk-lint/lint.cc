@@ -1,0 +1,431 @@
+#include "tools/kk-lint/lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace kklint {
+
+namespace {
+
+const std::vector<RuleInfo> kRules = {
+    {"KK001", "ambient-randomness", "ambient-randomness-ok",
+     "everywhere except src/util/rng.h",
+     "derive randomness from Rng/CounterRng seeded via Rng::SeedStream; never "
+     "std::rand, std::random_device, mt19937, or wall-clock seeds"},
+    {"KK002", "raw-seed", "raw-seed-ok", "src/engine/, src/apps/",
+     "seed engine RNGs with Rng::SeedStream(master, stream) counter blocks, "
+     "not raw integer literals"},
+    {"KK003", "unordered-iteration", "nondeterministic-order-ok",
+     "src/engine/, src/apps/, src/testing/",
+     "iterate a sorted copy, use an ordered container, or waive with a "
+     "justification if downstream order is canonicalized"},
+    {"KK004", "sampling-narrowing", "narrow-ok", "src/sampling/",
+     "keep transition-probability math in double; narrow to real_t/float "
+     "only at storage boundaries, with a comment"},
+    {"KK005", "unchecked-read", "unchecked-read-ok",
+     "src/engine/ deserialization functions (Read*/Deserialize*/Decode*/Parse*/Unpack*)",
+     "bounds-guard raw indexing with KK_CHECK, or use .at()"},
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Blanks comments, string literals, and char literals while preserving the
+// line structure, so token rules cannot fire inside them. Raw lines are kept
+// for waiver detection.
+std::vector<std::string> StripCommentsAndStrings(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string code;
+    code.reserve(line.size());
+    for (size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // rest of line is a comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        code.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        code.push_back(quote);
+        continue;
+      }
+      code.push_back(c);
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+// A waiver on line i (0-based) or the line above silences a finding at i.
+bool Waived(const std::vector<std::string>& raw, size_t i, const std::string& tag) {
+  const std::string needle = "kk-lint: " + tag;
+  if (raw[i].find(needle) != std::string::npos) {
+    return true;
+  }
+  return i > 0 && raw[i - 1].find(needle) != std::string::npos;
+}
+
+void Emit(std::vector<Finding>* findings, const char* rule, const std::string& path,
+          size_t line0, std::string message, const char* tag) {
+  findings->push_back(Finding{rule, path, line0 + 1, std::move(message), tag});
+}
+
+// ---------------------------------------------------------------------------
+// KK001: ambient randomness / wall-clock seeding.
+// ---------------------------------------------------------------------------
+void CheckAmbientRandomness(const std::string& path, const std::vector<std::string>& raw,
+                            const std::vector<std::string>& code,
+                            std::vector<Finding>* findings) {
+  if (path == "src/util/rng.h") {
+    return;  // the one place allowed to define the primitives
+  }
+  static const std::regex kBanned(
+      R"((std\s*::\s*|\b)(rand|srand|drand48|lrand48|random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|knuth_b|ranlux(24|48)(_base)?)\b)");
+  static const std::regex kWallClockSeed(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\)|\bgettimeofday\b)");
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, kBanned)) {
+      // `rand`/`srand` only count as the C library calls, not substrings of
+      // longer identifiers (the \b already guarantees that) and not member
+      // accesses like foo.rand — require a call or type usage.
+      if (!Waived(raw, i, "ambient-randomness-ok")) {
+        Emit(findings, "KK001", path, i,
+             "ambient randomness source '" + m.str(0) +
+                 "'; all engine randomness must flow from src/util/rng.h streams",
+             "ambient-randomness-ok");
+      }
+      continue;
+    }
+    if (std::regex_search(code[i], m, kWallClockSeed) && !Waived(raw, i, "ambient-randomness-ok")) {
+      Emit(findings, "KK001", path, i,
+           "wall-clock value '" + m.str(0) +
+               "' (non-reproducible seed material); use an explicit seed",
+           "ambient-randomness-ok");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KK002: Rng construction/seeding from raw integer literals in engine code.
+// ---------------------------------------------------------------------------
+void CheckRawSeed(const std::string& path, const std::vector<std::string>& raw,
+                  const std::vector<std::string>& code, std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/engine/") && !StartsWith(path, "src/apps/")) {
+    return;
+  }
+  // `Rng r(7)`, `Rng r{7}`, `Rng(0xBEEF)` temporaries, and `.Seed(7)`.
+  static const std::regex kRawCtor(
+      R"(\bRng\s+\w+\s*[({]\s*(0[xX][0-9a-fA-F']+|[0-9][0-9']*)\s*[)}])");
+  static const std::regex kRawTemp(R"(\bRng\s*[({]\s*(0[xX][0-9a-fA-F']+|[0-9][0-9']*)\s*[)}])");
+  static const std::regex kRawSeedCall(R"(\.Seed\s*\(\s*(0[xX][0-9a-fA-F']+|[0-9][0-9']*)\s*\))");
+  for (size_t i = 0; i < code.size(); ++i) {
+    if ((std::regex_search(code[i], kRawCtor) || std::regex_search(code[i], kRawTemp) ||
+         std::regex_search(code[i], kRawSeedCall)) &&
+        !Waived(raw, i, "raw-seed-ok")) {
+      Emit(findings, "KK002", path, i,
+           "Rng seeded from a raw literal; walker/worker streams must come from "
+           "Rng::SeedStream counter blocks",
+           "raw-seed-ok");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KK003: iteration over unordered containers on deterministic paths.
+// ---------------------------------------------------------------------------
+
+// Identifier immediately before `pos` in `s` (the tail of a possibly
+// qualified expression like node.pending or state->in_flight).
+std::string TailIdentifierBefore(const std::string& s, size_t pos) {
+  size_t end = pos;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  size_t begin = end;
+  while (begin > 0 && (std::isalnum(static_cast<unsigned char>(s[begin - 1])) ||
+                       s[begin - 1] == '_')) {
+    --begin;
+  }
+  return s.substr(begin, end - begin);
+}
+
+void CheckUnorderedIteration(const std::string& path, const std::vector<std::string>& raw,
+                             const std::vector<std::string>& code,
+                             std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/engine/") && !StartsWith(path, "src/apps/") &&
+      !StartsWith(path, "src/testing/")) {
+    return;
+  }
+  // Pass 1: every identifier declared (or returned) with an unordered
+  // container type anywhere in the file.
+  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  std::set<std::string> unordered_names;
+  for (const std::string& line : code) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      // Walk the template argument list to its matching '>'.
+      size_t pos = static_cast<size_t>(it->position(0) + it->length(0));
+      int depth = 1;
+      while (pos < line.size() && depth > 0) {
+        if (line[pos] == '<') {
+          ++depth;
+        } else if (line[pos] == '>') {
+          --depth;
+        }
+        ++pos;
+      }
+      if (depth != 0) {
+        continue;  // declaration spans lines; the loop checks below still
+                   // catch iteration over well-known member names
+      }
+      static const std::regex kName(R"(^\s*&?\s*([A-Za-z_]\w*))");
+      std::string rest = line.substr(pos);
+      std::smatch m;
+      if (std::regex_search(rest, m, kName)) {
+        unordered_names.insert(m.str(1));
+      }
+    }
+  }
+  if (unordered_names.empty()) {
+    return;
+  }
+  // Pass 2: range-for over, or iterator loops beginning at, those names.
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;:]*:\s*([^)]+)\))");
+  static const std::regex kBeginLoop(R"(\bfor\s*\([^;]*=\s*([\w.\->]+)\s*\.\s*c?begin\s*\()");
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::smatch m;
+    std::string container;
+    if (std::regex_search(line, m, kRangeFor)) {
+      std::string expr = m.str(1);
+      container = TailIdentifierBefore(expr, expr.size());
+    } else if (std::regex_search(line, m, kBeginLoop)) {
+      std::string expr = m.str(1);
+      container = TailIdentifierBefore(expr, expr.size());
+    }
+    if (container.empty() || unordered_names.find(container) == unordered_names.end()) {
+      continue;
+    }
+    if (!Waived(raw, i, "nondeterministic-order-ok")) {
+      Emit(findings, "KK003", path, i,
+           "iteration over unordered container '" + container +
+               "' on a deterministic path; order depends on hashing/layout",
+           "nondeterministic-order-ok");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KK004: double -> float / integer truncation in sampling probability math.
+// ---------------------------------------------------------------------------
+
+// True when `expr` looks like floating-point valued: a floating literal, a
+// double-named identifier, or an Rng double draw.
+bool LooksFloating(const std::string& expr) {
+  static const std::regex kFloaty(
+      R"(\d\.\d|\bdouble\b|\breal_t\b|\bfloat\b|NextDouble|TotalWeight|total_weight)");
+  return std::regex_search(expr, kFloaty);
+}
+
+void CheckSamplingNarrowing(const std::string& path, const std::vector<std::string>& raw,
+                            const std::vector<std::string>& code,
+                            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/sampling/")) {
+    return;
+  }
+  static const std::regex kFloatCast(
+      R"(static_cast\s*<\s*(?:float|real_t)\s*>|\(\s*(?:float|real_t)\s*\)\s*[\w(])");
+  static const std::regex kIntCast(
+      R"(static_cast\s*<\s*(?:u?int(?:8|16|32|64)?_?t?|long|size_t|unsigned|vertex_id_t|edge_index_t|walker_id_t)\s*>\s*\()");
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::smatch m;
+    if (std::regex_search(line, m, kFloatCast)) {
+      if (!Waived(raw, i, "narrow-ok")) {
+        Emit(findings, "KK004", path, i,
+             "narrowing to float/real_t in sampling code; transition-probability "
+             "math must stay in double until a storage boundary",
+             "narrow-ok");
+      }
+      continue;
+    }
+    if (std::regex_search(line, m, kIntCast)) {
+      // Only flag when the cast argument is plausibly floating-valued;
+      // index/iterator narrowing is KK-legal here.
+      size_t open = static_cast<size_t>(m.position(0) + m.length(0)) - 1;
+      int depth = 0;
+      size_t end = open;
+      while (end < line.size()) {
+        if (line[end] == '(') {
+          ++depth;
+        } else if (line[end] == ')') {
+          if (--depth == 0) {
+            break;
+          }
+        }
+        ++end;
+      }
+      std::string arg = line.substr(open + 1, end > open ? end - open - 1 : 0);
+      if (LooksFloating(arg) && !Waived(raw, i, "narrow-ok")) {
+        Emit(findings, "KK004", path, i,
+             "float-to-integer truncation in sampling code; round explicitly or "
+             "waive with a comment if the truncation is the algorithm",
+             "narrow-ok");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KK005: unchecked raw indexing in deserialization code.
+// ---------------------------------------------------------------------------
+void CheckUncheckedRead(const std::string& path, const std::vector<std::string>& raw,
+                        const std::vector<std::string>& code,
+                        std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/engine/")) {
+    return;
+  }
+  static const std::regex kDeserialFn(
+      R"(\b(?:Read|Deserialize|Decode|Parse|Unpack)\w*\s*\([^;]*$|\b(?:Read|Deserialize|Decode|Parse|Unpack)\w*\s*\(.*\)\s*(?:const\s*)?\{)");
+  static const std::regex kSubscript(R"(([A-Za-z_][\w.\->]*)\s*\[\s*([^\]]+)\])");
+  static const std::regex kLiteralIndex(R"(^\s*\d+\s*$)");
+
+  size_t i = 0;
+  while (i < code.size()) {
+    if (!std::regex_search(code[i], kDeserialFn)) {
+      ++i;
+      continue;
+    }
+    // Find the body: first '{' at or after the signature line, then its
+    // matching close brace.
+    size_t body_begin = i;
+    int depth = 0;
+    bool entered = false;
+    size_t j = i;
+    for (; j < code.size(); ++j) {
+      for (char c : code[j]) {
+        if (c == '{') {
+          if (!entered) {
+            entered = true;
+            body_begin = j;
+          }
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (entered && depth == 0) {
+        break;
+      }
+    }
+    size_t body_end = j < code.size() ? j : code.size() - 1;
+    bool has_check = false;
+    for (size_t k = body_begin; k <= body_end; ++k) {
+      if (code[k].find("KK_CHECK") != std::string::npos ||
+          code[k].find("KK_DCHECK") != std::string::npos) {
+        has_check = true;
+        break;
+      }
+    }
+    if (!has_check) {
+      for (size_t k = body_begin; k <= body_end; ++k) {
+        auto begin = std::sregex_iterator(code[k].begin(), code[k].end(), kSubscript);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          std::string index = it->str(2);
+          if (std::regex_match(index, kLiteralIndex)) {
+            continue;  // fixed-offset field reads are fine
+          }
+          if (!Waived(raw, k, "unchecked-read-ok")) {
+            Emit(findings, "KK005", path, k,
+                 "raw variable-index read '" + it->str(0) +
+                     "' in a deserialization function with no KK_CHECK bounds guard",
+                 "unchecked-read-ok");
+          }
+        }
+      }
+    }
+    i = body_end + 1;
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return kRules; }
+
+std::vector<Finding> LintContent(const std::string& rel_path, const std::string& content) {
+  std::vector<std::string> raw;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+      raw.push_back(line);
+    }
+  }
+  std::vector<std::string> code = StripCommentsAndStrings(raw);
+  std::vector<Finding> findings;
+  CheckAmbientRandomness(rel_path, raw, code, &findings);
+  CheckRawSeed(rel_path, raw, code, &findings);
+  CheckUnorderedIteration(rel_path, raw, code, &findings);
+  CheckSamplingNarrowing(rel_path, raw, code, &findings);
+  CheckUncheckedRead(rel_path, raw, code, &findings);
+  return findings;
+}
+
+bool LintFile(const std::string& abs_path, const std::string& rel_path,
+              std::vector<Finding>* findings, std::string* error) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + abs_path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<Finding> file_findings = LintContent(rel_path, buf.str());
+  findings->insert(findings->end(), file_findings.begin(), file_findings.end());
+  return true;
+}
+
+std::vector<std::string> ParseCompileCommands(const std::string& json) {
+  std::vector<std::string> files;
+  static const std::regex kFileEntry(R"rx("file"\s*:\s*"([^"]+)")rx");
+  auto begin = std::sregex_iterator(json.begin(), json.end(), kFileEntry);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    files.push_back(it->str(1));
+  }
+  return files;
+}
+
+}  // namespace kklint

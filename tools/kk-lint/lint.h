@@ -1,0 +1,59 @@
+// kk-lint: KnightKing-specific static analysis.
+//
+// A token/AST-lite checker over the source tree that enforces the
+// determinism and concurrency invariants the deterministic-simulation
+// harness (docs/TESTING.md) relies on at runtime. Rules are path-scoped:
+// the same source line can be legal in bench/ and a violation in
+// src/engine/. Each rule has a stable ID, a one-line remediation, and a
+// waiver comment that silences it at a specific site:
+//
+//   KK001 ambient-randomness   waiver: // kk-lint: ambient-randomness-ok
+//   KK002 raw-seed             waiver: // kk-lint: raw-seed-ok
+//   KK003 unordered-iteration  waiver: // kk-lint: nondeterministic-order-ok
+//   KK004 sampling-narrowing   waiver: // kk-lint: narrow-ok
+//   KK005 unchecked-read       waiver: // kk-lint: unchecked-read-ok
+//
+// See docs/STATIC_ANALYSIS.md for the full catalog and rationale.
+#ifndef TOOLS_KK_LINT_LINT_H_
+#define TOOLS_KK_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace kklint {
+
+struct Finding {
+  std::string rule;     // e.g. "KK003"
+  std::string path;     // path as given to the linter
+  size_t line = 0;      // 1-based
+  std::string message;  // what is wrong at this site
+  std::string waiver;   // comment tag that would silence it
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* waiver_tag;
+  const char* scope;  // human-readable path scope
+  const char* remediation;
+};
+
+// The rule catalog, in ID order.
+const std::vector<RuleInfo>& Rules();
+
+// Lints one file. `rel_path` is the path relative to the repo root and
+// drives rule scoping; `content` is the file's full text.
+std::vector<Finding> LintContent(const std::string& rel_path, const std::string& content);
+
+// Reads and lints one file on disk. Returns false (and sets `error`) if the
+// file cannot be read.
+bool LintFile(const std::string& abs_path, const std::string& rel_path,
+              std::vector<Finding>* findings, std::string* error);
+
+// Extracts the translation-unit list from a compile_commands.json blob
+// (minimal parser: every "file": "..." entry).
+std::vector<std::string> ParseCompileCommands(const std::string& json);
+
+}  // namespace kklint
+
+#endif  // TOOLS_KK_LINT_LINT_H_

@@ -1,0 +1,198 @@
+// kk-lint driver.
+//
+// Usage:
+//   kk-lint --root <repo> [--compile-commands <json>] [--fix-list] [file...]
+//   kk-lint --list-rules
+//
+// With explicit files, lints exactly those (scoped by their path relative
+// to --root). Otherwise the file list is the translation units from
+// compile_commands.json that live under the root, plus every header in the
+// directories those units came from. Exit codes: 0 clean, 1 findings,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/kk-lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Directories under the root whose sources are linted in tree mode.
+const char* const kLintDirs[] = {"src", "tests", "bench", "examples", "tools"};
+
+bool IsExcluded(const std::string& rel) {
+  return rel.find("testdata/") != std::string::npos ||
+         rel.find("build") == 0 || rel.find(".git/") != std::string::npos;
+}
+
+bool HasSourceExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+std::string RelativeTo(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) {
+    return p.generic_string();
+  }
+  return rel.generic_string();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kk-lint [--root DIR] [--compile-commands FILE] [--fix-list] "
+               "[--list-rules] [file...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string compile_commands;
+  bool fix_list = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--fix-list") {
+      fix_list = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : kklint::Rules()) {
+        std::printf("%s %-22s scope: %-60s waiver: // kk-lint: %s\n", r.id, r.name, r.scope,
+                    r.waiver_tag);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "kk-lint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+
+  // Assemble the file list: explicit args win; otherwise compile_commands
+  // translation units plus headers under the standard lint directories.
+  std::vector<std::pair<std::string, std::string>> files;  // (abs, rel)
+  std::set<std::string> seen;
+  auto add = [&](const fs::path& p) {
+    std::error_code add_ec;
+    fs::path abs = fs::canonical(p, add_ec);
+    if (add_ec) {
+      return;
+    }
+    std::string rel = RelativeTo(root, abs);
+    if (IsExcluded(rel) || !seen.insert(rel).second) {
+      return;
+    }
+    files.emplace_back(abs.string(), rel);
+  };
+
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) {
+      fs::path p(f);
+      if (!p.is_absolute()) {
+        p = fs::current_path() / p;
+      }
+      if (!fs::exists(p)) {
+        std::fprintf(stderr, "kk-lint: no such file: %s\n", f.c_str());
+        return 2;
+      }
+      add(p);
+    }
+  } else {
+    if (!compile_commands.empty()) {
+      std::ifstream in(compile_commands, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "kk-lint: cannot read %s\n", compile_commands.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      for (const std::string& f : kklint::ParseCompileCommands(buf.str())) {
+        fs::path p(f);
+        if (p.is_absolute() && fs::exists(p)) {
+          add(p);
+        }
+      }
+    }
+    for (const char* dir : kLintDirs) {
+      fs::path d = root / dir;
+      if (!fs::exists(d)) {
+        continue;
+      }
+      for (auto it = fs::recursive_directory_iterator(d, ec);
+           !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (it->is_regular_file() && HasSourceExtension(it->path())) {
+          add(it->path());
+        }
+      }
+    }
+    if (files.empty()) {
+      std::fprintf(stderr, "kk-lint: no files to lint (bad --root or --compile-commands?)\n");
+      return 2;
+    }
+  }
+
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<kklint::Finding> findings;
+  for (const auto& [abs, rel] : files) {
+    std::string error;
+    if (!kklint::LintFile(abs, rel, &findings, &error)) {
+      std::fprintf(stderr, "kk-lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::printf("%s:%zu: [%s] %s (waive with // kk-lint: %s)\n", f.path.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str(), f.waiver.c_str());
+  }
+
+  if (fix_list && !findings.empty()) {
+    std::map<std::string, std::vector<const kklint::Finding*>> by_rule;
+    for (const auto& f : findings) {
+      by_rule[f.rule].push_back(&f);
+    }
+    std::printf("\n== fix list ==\n");
+    for (const auto& r : kklint::Rules()) {
+      auto it = by_rule.find(r.id);
+      if (it == by_rule.end()) {
+        continue;
+      }
+      std::printf("%s %s — %zu site(s). Fix: %s\n", r.id, r.name, it->second.size(),
+                  r.remediation);
+      for (const auto* f : it->second) {
+        std::printf("    %s:%zu\n", f->path.c_str(), f->line);
+      }
+    }
+  }
+
+  std::printf("kk-lint: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// Fixture: KK001 ambient-randomness violations (one per banned source).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned SeedFromWallClock() {
+  return static_cast<unsigned>(time(nullptr));  // KK001: wall-clock seed
+}
+
+int AmbientDraws() {
+  std::random_device rd;                 // KK001: nondeterministic device
+  std::mt19937 gen(rd());                // KK001: ad-hoc engine
+  return static_cast<int>(gen()) + std::rand();  // KK001: C library rand
+}
+
+}  // namespace fixture

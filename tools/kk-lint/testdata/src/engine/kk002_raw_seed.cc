@@ -1,0 +1,21 @@
+// Fixture: KK002 raw-literal Rng seeding inside engine code.
+#include "src/util/rng.h"
+
+namespace fixture {
+
+knightking::Rng MakeWalkerRng() {
+  knightking::Rng rng(12345);  // KK002: literal seed, not a SeedStream block
+  return rng;
+}
+
+void ReseedInPlace(knightking::Rng& rng) {
+  rng.Seed(0xdeadbeef);  // KK002: literal reseed
+}
+
+knightking::Rng GoodWalkerRng(uint64_t master, uint64_t walker) {
+  knightking::Rng rng;
+  rng.SeedStream(master, walker);  // OK: counter-block stream
+  return rng;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: KK003 unordered-container iteration on a deterministic path.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct State {
+  std::unordered_map<uint64_t, int> pending;
+};
+
+uint64_t SumKeys(const State& s) {
+  uint64_t total = 0;
+  for (const auto& [id, v] : s.pending) {  // KK003: hash-order iteration
+    total += id + static_cast<uint64_t>(v);
+  }
+  return total;
+}
+
+void EraseLoop(State& s) {
+  for (auto it = s.pending.begin(); it != s.pending.end();) {  // KK003
+    it = s.pending.erase(it);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: KK005 unchecked raw indexing in mailbox deserialization.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Message {
+  uint64_t walker;
+  uint64_t step;
+};
+
+Message DeserializeMessage(const std::vector<uint8_t>& buf, size_t offset) {
+  Message m{};
+  m.walker = buf[offset];      // KK005: no KK_CHECK bounds guard
+  m.step = buf[offset + 1];    // KK005
+  return m;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: every rule silenced by its waiver comment — must lint clean.
+#include <ctime>
+#include <unordered_map>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace fixture {
+
+uint64_t WallClockForLogging() {
+  // Display-only timestamp, never seed material.
+  return static_cast<uint64_t>(time(nullptr));  // kk-lint: ambient-randomness-ok
+}
+
+knightking::Rng BenchOnlyRng() {
+  knightking::Rng rng(42);  // kk-lint: raw-seed-ok
+  return rng;
+}
+
+uint64_t DrainAnyOrder(const std::unordered_map<uint64_t, int>& idle) {
+  uint64_t n = 0;
+  // Order-insensitive reduction; sum is commutative.
+  for (const auto& [k, v] : idle) {  // kk-lint: nondeterministic-order-ok
+    n += k + static_cast<uint64_t>(v);
+  }
+  return n;
+}
+
+uint64_t DecodeChecked(const unsigned char* buf, size_t len, size_t i) {
+  KK_CHECK(i < len);
+  return buf[i];  // guarded above; the KK_CHECK satisfies KK005
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: KK004 probability-math narrowing in sampling code.
+#include <cstdint>
+
+namespace fixture {
+
+float FoldToFloat(double transition_probability) {
+  return static_cast<float>(transition_probability);  // KK004: double -> float
+}
+
+uint32_t BucketOf(double x) {
+  return static_cast<uint32_t>(x / 2.5);  // KK004: truncation of a double
+}
+
+uint32_t IndexNarrowingIsFine(uint64_t i) {
+  return static_cast<uint32_t>(i);  // OK: index math, not probability math
+}
+
+}  // namespace fixture
