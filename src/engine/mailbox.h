@@ -63,6 +63,9 @@ class Mailbox {
                std::make_move_iterator(batch.end()));
   }
 
+  // Single-message convenience overload. Takes the channel lock per call, so
+  // engine hot paths (per-walker sampling, responses, acks) must accumulate
+  // into per-destination scratch and use the batch overload above instead.
   void Post(node_rank_t src, node_rank_t dst, const MessageT& msg) {
     size_t ch = Channel(src, dst);
     std::lock_guard<std::mutex> lock(locks_[ch].m);

@@ -36,7 +36,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -64,6 +63,17 @@ struct PathEntry {
   vertex_id_t vertex = 0;
 
   friend bool operator==(const PathEntry&, const PathEntry&) = default;
+};
+
+// Locality sort of each node's active walker batch by current vertex before
+// chunking (§6.2's task scheduler, plus the memory-access-ordering insight of
+// ThunderRW/FlashMob): trials against the same vertex then hit warm sampler
+// rows and neighbor spans. Observationally safe — walkers carry their own RNG
+// streams, so processing order never changes walk output.
+enum class BatchSortMode {
+  kAuto = 0,    // sort when the batch exceeds sort_batches_threshold
+  kAlways = 1,  // sort every batch (tests / ablations)
+  kNever = 2,   // arrival order (pre-overhaul behaviour)
 };
 
 struct WalkEngineOptions {
@@ -112,6 +122,11 @@ struct WalkEngineOptions {
   // Bounded retries per message/query; exceeding this aborts the run (the
   // simulated network is considered failed, not slow).
   uint32_t max_retries = 64;
+  // Locality pass over each node's active batch in full (non-light) mode;
+  // see BatchSortMode. kAuto only pays the sort when the batch is large
+  // enough for cache effects to dominate the O(n log n) cost.
+  BatchSortMode sort_batches = BatchSortMode::kAuto;
+  size_t sort_batches_threshold = 2048;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -160,6 +175,11 @@ class WalkEngine {
       if (options_.workers_per_node > 0) {
         node->pool = std::make_unique<ThreadPool>(options_.workers_per_node);
       }
+    }
+    if (options_.parallel_nodes && options_.num_nodes > 1) {
+      // Persistent node-driver pool: the calling thread drives one node and
+      // these workers drive the rest (see ForEachNode).
+      driver_pool_ = std::make_unique<ThreadPool>(options_.num_nodes - 1);
     }
   }
 
@@ -297,7 +317,13 @@ class WalkEngine {
     std::vector<std::vector<vertex_id_t>> paths(num_walkers_);
     for (const auto& entry : all) {
       KK_CHECK(entry.walker < paths.size());
-      KK_CHECK(paths[entry.walker].size() == entry.step);  // contiguous steps
+      KK_CHECK_MSG(paths[entry.walker].size() == entry.step,
+                   "non-contiguous path log for walker %llu: expected next step "
+                   "%zu but log has step %u (vertex %u); a step record was "
+                   "dropped or double-delivered upstream",
+                   static_cast<unsigned long long>(entry.walker),
+                   paths[entry.walker].size(), static_cast<unsigned>(entry.step),
+                   static_cast<unsigned>(entry.vertex));
       paths[entry.walker].push_back(entry.vertex);
     }
     return paths;
@@ -350,30 +376,93 @@ class WalkEngine {
     uint32_t retries = 0;
   };
 
+  // Per-chunk scratch: merged into node/mailbox state at chunk end so the
+  // hot loop takes no locks. Every outbound message kind accumulates in a
+  // per-destination vector and flushes through the mailbox batch Post once
+  // per chunk — the per-message Post overload never appears on a hot path.
+  // Instances are pooled per node (Clear()-and-reuse), so steady-state
+  // iterations allocate nothing: every vector keeps its high-water capacity.
+  struct Scratch {
+    std::vector<std::vector<WalkerT>> moves;         // per destination node
+    std::vector<std::vector<QueryMsg>> queries;      // per destination node
+    std::vector<std::vector<ResponseMsg>> responses; // per destination node
+    std::vector<WalkerT> stay;
+    std::vector<PendingTrial> pending_trials;
+    std::vector<InFlightMove> tracked;  // copies awaiting acknowledgement
+    std::vector<PathEntry> paths;
+    SamplingStats stats;
+
+    // Empties every buffer while retaining capacity. Batch Post moves the
+    // *elements* out of the per-destination vectors but leaves the vectors'
+    // storage in place, so a cleared scratch re-fills without reallocating.
+    void Clear(node_rank_t num_nodes) {
+      moves.resize(num_nodes);
+      queries.resize(num_nodes);
+      responses.resize(num_nodes);
+      for (auto& m : moves) {
+        m.clear();
+      }
+      for (auto& q : queries) {
+        q.clear();
+      }
+      for (auto& r : responses) {
+        r.clear();
+      }
+      stay.clear();
+      pending_trials.clear();
+      tracked.clear();
+      paths.clear();
+      stats = SamplingStats{};
+    }
+  };
+
   struct NodeState {
     std::vector<WalkerT> active;
     std::vector<WalkerT> next_active;
+    // Fault-free fast protocol: trials parked this superstep, keyed by slot
+    // index carried in QueryMsg::walker. Every slot is answered before phase
+    // C ends, so the vector drains each iteration (capacity persists).
+    std::vector<PendingTrial> parked;
     std::unordered_map<walker_id_t, PendingTrial> pending;
     std::unordered_map<walker_id_t, InFlightMove> in_flight;
     std::vector<PathEntry> path_log;
     SamplingStats stats;
     std::unique_ptr<ThreadPool> pool;
     std::mutex merge_mutex;
+    // Scratch freelist (guarded by merge_mutex): grows to the number of
+    // chunks this node ever runs concurrently (workers + driver), then every
+    // acquisition is a pop.
+    std::vector<std::unique_ptr<Scratch>> scratch_pool;
+    // Driver-only buffer for phase C query re-issues (one per destination);
+    // reused across iterations.
+    std::vector<std::vector<QueryMsg>> requery_out;
+    // Reused counting-sort buffers for the locality pass (driver-only per
+    // node; see SortBatchByLocality).
+    std::vector<WalkerT> sort_tmp_walkers;
+    std::vector<uint32_t> sort_bucket_counts;
   };
 
-  // Per-chunk scratch: merged into node/mailbox state at chunk end so the
-  // hot loop takes no locks.
-  struct Scratch {
-    std::vector<std::vector<WalkerT>> moves;  // per destination node
-    std::vector<WalkerT> stay;
-    std::vector<PendingTrial> pending_trials;
-    std::vector<QueryMsg> queries;
-    std::vector<InFlightMove> tracked;  // copies awaiting acknowledgement
-    std::vector<PathEntry> paths;
-    SamplingStats stats;
+  // Pops a cleared scratch from the node's freelist (or makes the pool's
+  // first few on a cold start).
+  std::unique_ptr<Scratch> AcquireScratch(NodeState& node) {
+    {
+      std::lock_guard<std::mutex> lock(node.merge_mutex);
+      if (!node.scratch_pool.empty()) {
+        std::unique_ptr<Scratch> scratch = std::move(node.scratch_pool.back());
+        node.scratch_pool.pop_back();
+        return scratch;
+      }
+    }
+    auto scratch = std::make_unique<Scratch>();
+    scratch->Clear(options_.num_nodes);
+    return scratch;
+  }
 
-    explicit Scratch(node_rank_t num_nodes) : moves(num_nodes) {}
-  };
+  void ReleaseScratch(NodeState& node, std::unique_ptr<Scratch> scratch) {
+    scratch->Clear(options_.num_nodes);  // clear outside the lock
+    std::lock_guard<std::mutex> lock(node.merge_mutex);
+    node.scratch_pool.push_back(std::move(scratch));
+  }
 
   enum class TrialOutcome { kAccept, kReject, kNeedQuery, kNoEdges };
 
@@ -389,31 +478,69 @@ class WalkEngine {
                                     : StaticWeight(edge.data);
   }
 
-  // Precomputes the static sampler and per-vertex envelope arrays.
+  // The pool Prepare's O(V + E) precomputation runs on: the persistent
+  // driver pool when one exists, else the first node's worker pool (all the
+  // pools are otherwise idle between Runs), else inline.
+  ThreadPool* PreparePool() {
+    if (driver_pool_ != nullptr) {
+      return driver_pool_.get();
+    }
+    if (!nodes_.empty() && nodes_[0]->pool != nullptr) {
+      return nodes_[0]->pool.get();
+    }
+    return nullptr;
+  }
+
+  // Runs fn(begin, end) over [0, total) on `pool` in coarse chunks (inline
+  // when pool is null). fn must write disjoint slices only.
+  template <typename Fn>
+  static void ParallelFill(ThreadPool* pool, size_t total, const Fn& fn) {
+    if (pool == nullptr || pool->num_workers() == 0 || total == 0) {
+      fn(0, total);
+      return;
+    }
+    pool->ParallelFor(total, BuildChunkSize(total, pool->num_workers()), fn);
+  }
+
+  // Precomputes the static sampler and per-vertex envelope arrays. Both are
+  // per-vertex independent, so the whole of Prepare parallelizes over vertex
+  // chunks; the transition's bound callbacks must be pure (they are: the
+  // apps' bounds are closed-form in the degree).
   void Prepare() {
-    sampler_.Build(graph_, options_.sampler_kind, transition_->static_comp);
+    ThreadPool* pool = PreparePool();
+    sampler_.Build(graph_, options_.sampler_kind, transition_->static_comp, pool);
     upper_.clear();
     lower_.clear();
     if (dynamic_) {
       upper_.resize(graph_.num_vertices());
-      for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
-        upper_[v] = transition_->dynamic_upper_bound(v, graph_.OutDegree(v));
-      }
+      ParallelFill(pool, graph_.num_vertices(), [this](size_t begin, size_t end) {
+        for (size_t v = begin; v < end; ++v) {
+          auto vid = static_cast<vertex_id_t>(v);
+          upper_[v] = transition_->dynamic_upper_bound(vid, graph_.OutDegree(vid));
+        }
+      });
       if (transition_->dynamic_lower_bound) {
         lower_.resize(graph_.num_vertices());
-        for (vertex_id_t v = 0; v < graph_.num_vertices(); ++v) {
-          lower_[v] = transition_->dynamic_lower_bound(v, graph_.OutDegree(v));
-        }
+        ParallelFill(pool, graph_.num_vertices(), [this](size_t begin, size_t end) {
+          for (size_t v = begin; v < end; ++v) {
+            auto vid = static_cast<vertex_id_t>(v);
+            lower_[v] = transition_->dynamic_lower_bound(vid, graph_.OutDegree(vid));
+          }
+        });
       }
     }
     for (auto& node : nodes_) {
       node->active.clear();
       node->next_active.clear();
+      node->parked.clear();
       node->pending.clear();
       node->in_flight.clear();
       node->path_log.clear();
       node->stats = SamplingStats{};
+      node->requery_out.resize(options_.num_nodes);
     }
+    ack_out_.resize(options_.num_nodes);
+    retransmit_out_.resize(options_.num_nodes);
   }
 
   void DeployWalkers() {
@@ -476,12 +603,86 @@ class WalkEngine {
 
   template <typename Fn>
   void ParallelOver(NodeState& node, size_t total, const Fn& fn) {
+    if (total == 0) {
+      // Nothing to do: skip the call entirely so empty phases pay neither a
+      // scratch acquisition nor a merge lock.
+      return;
+    }
     ThreadPool* pool = PoolFor(node, total);
     if (pool == nullptr) {
       fn(0, total);
       return;
     }
     pool->ParallelFor(total, options_.chunk_size, fn);
+  }
+
+  // Locality pass (§6.2 scheduling + the access-ordering insight ThunderRW
+  // and FlashMob quantify): processing a batch in `cur` order turns the
+  // sampler-row and neighbor-span accesses of consecutive walkers into reuse
+  // hits instead of random misses. kAuto pays the O(n) grouping pass only for
+  // full-mode batches; inline light-mode batches are too small to win.
+  bool ShouldSortBatch(size_t batch_size) const {
+    switch (options_.sort_batches) {
+      case BatchSortMode::kNever:
+        return false;
+      case BatchSortMode::kAlways:
+        return batch_size > 1;
+      case BatchSortMode::kAuto:
+        break;
+    }
+    if (options_.enable_light_mode && batch_size < options_.light_mode_threshold) {
+      return false;  // light mode: the node runs inline on a small tail
+    }
+    return batch_size >= options_.sort_batches_threshold;
+  }
+
+  // Fault-free runs answer every query within its own superstep, so parked
+  // trials can live in a flat per-node vector with messages keyed by slot
+  // index — no per-walker hash map. Faulted runs need content keys (the
+  // injector's decisions are keyed on them) and retry bookkeeping, and
+  // deterministic mode promises content-canonical message ordering, so both
+  // keep the map protocol. Walk output is identical either way: each
+  // walker's RNG stream is its own, so resolution order is unobservable.
+  bool FastQueryProtocol() const { return !reliable_ && !options_.deterministic; }
+
+  // Vertex-range buckets for the locality pass: coarse enough that one stable
+  // O(n) counting pass beats a comparison sort, fine enough that a bucket's
+  // sampler rows span a cache-sized slice of the tables.
+  static constexpr size_t kLocalityBuckets = 256;
+
+  // Groups `batch` by cur's vertex-range bucket with a stable counting sort
+  // into a per-node reused buffer (steady state allocates nothing). The pass
+  // is a pure function of message content plus input order; deterministic
+  // mode feeds it an id-canonical batch, so the grouped order is canonical
+  // too. Never observable in walk output — each walker's RNG stream is its
+  // own.
+  void SortBatchByLocality(NodeState& node, std::vector<WalkerT>& batch) {
+    uint64_t num_v = graph_.num_vertices();
+    auto bucket_of = [num_v](const WalkerT& w) {
+      return static_cast<size_t>(static_cast<uint64_t>(w.cur) * kLocalityBuckets / num_v);
+    };
+    std::vector<uint32_t>& counts = node.sort_bucket_counts;
+    counts.assign(kLocalityBuckets + 1, 0);
+    for (const WalkerT& w : batch) {
+      counts[bucket_of(w) + 1] += 1;
+    }
+    for (size_t b = 0; b < kLocalityBuckets; ++b) {
+      counts[b + 1] += counts[b];
+    }
+    std::vector<WalkerT>& tmp = node.sort_tmp_walkers;
+    tmp.resize(batch.size());
+    for (WalkerT& w : batch) {
+      tmp[counts[bucket_of(w)]++] = std::move(w);
+    }
+    batch.swap(tmp);
+  }
+
+  // Pulls the next walker's graph/sampler rows toward the cache while the
+  // current walker computes (batches are cur-sorted, so the hint is almost
+  // always useful).
+  void PrefetchWalkerRows(vertex_id_t cur) const {
+    graph_.PrefetchNeighbors(cur);
+    sampler_.Prefetch(cur);
   }
 
   // One rejection-sampling trial for walker w at w.cur. Counts stats into
@@ -683,13 +884,27 @@ class WalkEngine {
     pending.y = r.y;
     pending.query_target = r.query_target;
     pending.epoch = superstep_;
-    scratch.queries.push_back({w.id, r.query_target, subject, node_rank, superstep_});
+    // Fast protocol keys the message by the trial's slot in the parked
+    // vector (scratch-local here; MergeScratch rebases to the node level).
+    walker_id_t key = FastQueryProtocol()
+                          ? static_cast<walker_id_t>(scratch.pending_trials.size())
+                          : w.id;
+    scratch.queries[partition_.OwnerOf(r.query_target)].push_back(
+        {key, r.query_target, subject, node_rank, superstep_});
     pending.walker = std::move(w);
     scratch.pending_trials.push_back(std::move(pending));
   }
 
-  // Merges chunk-local results into node state and mailboxes.
+  // Merges chunk-local results into node state and flushes every outbound
+  // buffer as one batch Post per destination (one channel lock per batch,
+  // not one per message).
   void MergeScratch(NodeState& node, node_rank_t node_rank, Scratch& scratch) {
+    size_t num_queries = 0;
+    for (const auto& q : scratch.queries) {
+      num_queries += q.size();
+    }
+    KK_CHECK(scratch.pending_trials.size() == num_queries);
+    size_t parked_base = 0;
     {
       std::lock_guard<std::mutex> lock(node.merge_mutex);
       node.stats.Merge(scratch.stats);
@@ -697,11 +912,19 @@ class WalkEngine {
                               std::make_move_iterator(scratch.stay.begin()),
                               std::make_move_iterator(scratch.stay.end()));
       node.path_log.insert(node.path_log.end(), scratch.paths.begin(), scratch.paths.end());
-      KK_CHECK(scratch.pending_trials.size() == scratch.queries.size());
-      for (auto& trial : scratch.pending_trials) {
-        walker_id_t id = trial.walker.id;
-        bool inserted = node.pending.emplace(id, std::move(trial)).second;
-        KK_CHECK(inserted);  // one in-flight trial per walker
+      if (FastQueryProtocol()) {
+        // Fault-free fast protocol: parked trials append to a flat vector;
+        // their queries are index-keyed, so no per-walker map is needed.
+        parked_base = node.parked.size();
+        node.parked.insert(node.parked.end(),
+                           std::make_move_iterator(scratch.pending_trials.begin()),
+                           std::make_move_iterator(scratch.pending_trials.end()));
+      } else {
+        for (auto& trial : scratch.pending_trials) {
+          walker_id_t id = trial.walker.id;
+          bool inserted = node.pending.emplace(id, std::move(trial)).second;
+          KK_CHECK(inserted);  // one in-flight trial per walker
+        }
       }
       for (auto& move : scratch.tracked) {
         // Overwrites any stale entry from an earlier acked-but-unlearned
@@ -709,29 +932,35 @@ class WalkEngine {
         node.in_flight[move.walker.id] = std::move(move);
       }
     }
-    for (const QueryMsg& q : scratch.queries) {
-      query_mail_->Post(node_rank, partition_.OwnerOf(q.target), q);
+    if (parked_base > 0) {
+      // Rebase scratch-local trial indices to node-level parked slots.
+      for (auto& dst_queries : scratch.queries) {
+        for (QueryMsg& q : dst_queries) {
+          q.walker += parked_base;
+        }
+      }
     }
     for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
+      query_mail_->Post(node_rank, dst, std::move(scratch.queries[dst]));
       walker_mail_->Post(node_rank, dst, std::move(scratch.moves[dst]));
     }
   }
 
   // Runs fn(node_rank) for every logical node, concurrently when
   // parallel_nodes is set. fn must only touch its own node's state plus the
-  // (internally synchronized) mailboxes.
+  // (internally synchronized) mailboxes. Concurrent execution dispatches one
+  // node per chunk onto the persistent driver pool — the pre-overhaul
+  // per-phase std::thread spawning cost a thread create/join per node per
+  // phase per iteration.
   template <typename Fn>
   void ForEachNode(const Fn& fn) {
     node_rank_t num_nodes = options_.num_nodes;
-    if (options_.parallel_nodes && num_nodes > 1) {
-      std::vector<std::thread> threads;
-      threads.reserve(num_nodes);
-      for (node_rank_t n = 0; n < num_nodes; ++n) {
-        threads.emplace_back([&fn, n] { fn(n); });
-      }
-      for (auto& t : threads) {
-        t.join();
-      }
+    if (driver_pool_ != nullptr && num_nodes > 1) {
+      driver_pool_->ParallelFor(num_nodes, 1, [&fn](size_t begin, size_t end) {
+        for (size_t n = begin; n < end; ++n) {
+          fn(static_cast<node_rank_t>(n));
+        }
+      });
     } else {
       for (node_rank_t n = 0; n < num_nodes; ++n) {
         fn(n);
@@ -748,16 +977,23 @@ class WalkEngine {
       NodeState& node = *nodes_[n];
       std::vector<WalkerT> batch = std::move(node.active);
       node.active.clear();
+      if (ShouldSortBatch(batch.size())) {
+        SortBatchByLocality(node, batch);
+      }
       ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
-        Scratch scratch(num_nodes);
+        std::unique_ptr<Scratch> scratch = AcquireScratch(node);
         for (size_t i = begin; i < end; ++i) {
+          if (i + 1 < end) {
+            PrefetchWalkerRows(batch[i + 1].cur);
+          }
           if (second_order_) {
-            SecondOrderTrial(batch[i], n, scratch);
+            SecondOrderTrial(batch[i], n, *scratch);
           } else {
-            LockstepWalk(batch[i], n, scratch);
+            LockstepWalk(batch[i], n, *scratch);
           }
         }
-        MergeScratch(node, n, scratch);
+        MergeScratch(node, n, *scratch);
+        ReleaseScratch(node, std::move(scratch));
       });
     });
     phase_times_.sample += phase_timer.Seconds();
@@ -779,17 +1015,17 @@ class WalkEngine {
                     });
         }
         ParallelOver(node, inbox.size(), [&](size_t begin, size_t end) {
-          std::vector<std::pair<node_rank_t, ResponseMsg>> responses;
-          responses.reserve(end - begin);
+          std::unique_ptr<Scratch> scratch = AcquireScratch(node);
           for (size_t i = begin; i < end; ++i) {
             const QueryMsg& q = inbox[i];
             KK_DCHECK(partition_.Owns(n, q.target));
             QueryResponse payload = transition_->respond_query(graph_, q.target, q.subject);
-            responses.emplace_back(q.origin, ResponseMsg{q.walker, q.epoch, payload});
+            scratch->responses[q.origin].push_back({q.walker, q.epoch, payload});
           }
-          for (auto& [origin, resp] : responses) {
-            response_mail_->Post(n, origin, resp);
+          for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
+            response_mail_->Post(n, dst, std::move(scratch->responses[dst]));
           }
+          ReleaseScratch(node, std::move(scratch));
         });
         inbox.clear();
       });
@@ -803,75 +1039,99 @@ class WalkEngine {
       ForEachNode([&](node_rank_t n) {
         NodeState& node = *nodes_[n];
         auto& resp_inbox = response_mail_->Inbox(n);
-        if (options_.deterministic) {
-          std::sort(resp_inbox.begin(), resp_inbox.end(),
-                    [](const ResponseMsg& a, const ResponseMsg& b) {
-                      return a.walker != b.walker ? a.walker < b.walker
-                                                  : a.epoch < b.epoch;
-                    });
-        }
-        for (const ResponseMsg& resp : resp_inbox) {
-          auto it = node.pending.find(resp.walker);
-          if (it == node.pending.end() || it->second.epoch != resp.epoch) {
-            // Duplicate of an already-resolved trial, or a late answer to a
-            // query that was re-issued (the retry carries the same epoch, so
-            // either copy's answer is accepted — respond_query is pure).
-            node.stats.stale_responses += 1;
-            continue;
+        std::vector<PendingTrial> map_resolved;
+        if (FastQueryProtocol()) {
+          // Index-keyed responses land directly in their parked slot; every
+          // slot is answered this superstep, so `parked` IS the resolved set.
+          KK_CHECK(resp_inbox.size() == node.parked.size());
+          for (const ResponseMsg& resp : resp_inbox) {
+            KK_DCHECK(resp.walker < node.parked.size());
+            node.parked[static_cast<size_t>(resp.walker)].response = resp.payload;
           }
-          it->second.response = resp.payload;
-          it->second.responded = true;
+        } else {
+          if (options_.deterministic) {
+            std::sort(resp_inbox.begin(), resp_inbox.end(),
+                      [](const ResponseMsg& a, const ResponseMsg& b) {
+                        return a.walker != b.walker ? a.walker < b.walker
+                                                    : a.epoch < b.epoch;
+                      });
+          }
+          for (const ResponseMsg& resp : resp_inbox) {
+            auto it = node.pending.find(resp.walker);
+            if (it == node.pending.end() || it->second.epoch != resp.epoch) {
+              // Duplicate of an already-resolved trial, or a late answer to a
+              // query that was re-issued (the retry carries the same epoch, so
+              // either copy's answer is accepted — respond_query is pure).
+              node.stats.stale_responses += 1;
+              continue;
+            }
+            it->second.response = resp.payload;
+            it->second.responded = true;
+          }
+          // Split resolved trials out; unanswered ones stay parked and are
+          // re-queried after retry_timeout supersteps.
+          map_resolved.reserve(node.pending.size());
+          // Visit order only affects the transient order of `map_resolved`,
+          // which is consumed through a per-walker SeedStream Rng; walker
+          // results do not depend on it. kk-lint: nondeterministic-order-ok
+          for (auto it = node.pending.begin(); it != node.pending.end();) {
+            if (it->second.responded) {
+              map_resolved.push_back(std::move(it->second));
+              it = node.pending.erase(it);
+            } else {
+              KK_CHECK(reliable_);  // fault-free queries answer within the superstep
+              PendingTrial& trial = it->second;
+              if (++trial.age >= options_.retry_timeout) {
+                KK_CHECK(trial.retries < options_.max_retries);
+                trial.retries += 1;
+                trial.age = 0;
+                node.stats.query_retries += 1;
+                const WalkerT& w = trial.walker;
+                vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
+                node.requery_out[partition_.OwnerOf(trial.query_target)].push_back(
+                    QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
+              }
+              ++it;
+            }
+          }
+          for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
+            query_mail_->Post(n, dst, std::move(node.requery_out[dst]));
+            node.requery_out[dst].clear();
+          }
+          if (options_.deterministic) {
+            std::sort(map_resolved.begin(), map_resolved.end(),
+                      [](const PendingTrial& a, const PendingTrial& b) {
+                        return a.walker.id < b.walker.id;
+                      });
+          }
         }
         resp_inbox.clear();
-        // Split resolved trials out; unanswered ones stay parked and are
-        // re-queried after retry_timeout supersteps.
-        std::vector<PendingTrial> resolved;
-        resolved.reserve(node.pending.size());
-        // Visit order only affects the transient order of `resolved`, which is
-        // consumed through a per-walker SeedStream Rng; walker results do not
-        // depend on it. kk-lint: nondeterministic-order-ok
-        for (auto it = node.pending.begin(); it != node.pending.end();) {
-          if (it->second.responded) {
-            resolved.push_back(std::move(it->second));
-            it = node.pending.erase(it);
-          } else {
-            KK_CHECK(reliable_);  // fault-free queries answer within the superstep
-            PendingTrial& trial = it->second;
-            if (++trial.age >= options_.retry_timeout) {
-              KK_CHECK(trial.retries < options_.max_retries);
-              trial.retries += 1;
-              trial.age = 0;
-              node.stats.query_retries += 1;
-              const WalkerT& w = trial.walker;
-              vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
-              query_mail_->Post(n, partition_.OwnerOf(trial.query_target),
-                                QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
-            }
-            ++it;
-          }
-        }
-        if (options_.deterministic) {
-          std::sort(resolved.begin(), resolved.end(),
-                    [](const PendingTrial& a, const PendingTrial& b) {
-                      return a.walker.id < b.walker.id;
-                    });
-        }
+        std::vector<PendingTrial>& resolved =
+            FastQueryProtocol() ? node.parked : map_resolved;
+        // No locality re-sort here: resolved trials already arrive roughly
+        // cur-clustered (phase A grouped their walkers), and PendingTrial is
+        // heavy enough that another counting pass costs more than it saves.
         ParallelOver(node, resolved.size(), [&](size_t begin, size_t end) {
-          Scratch scratch(num_nodes);
+          std::unique_ptr<Scratch> scratch = AcquireScratch(node);
           for (size_t i = begin; i < end; ++i) {
+            if (i + 1 < end) {
+              PrefetchWalkerRows(resolved[i + 1].walker.cur);
+            }
             PendingTrial& trial = resolved[i];
             WalkerT& w = trial.walker;
             const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
-            scratch.stats.pd_computations += 1;
+            scratch->stats.pd_computations += 1;
             real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
             if (trial.y < pd) {
-              CommitMove(w, trial.candidate, n, scratch);
+              CommitMove(w, trial.candidate, n, *scratch);
             } else {
-              scratch.stay.push_back(std::move(w));
+              scratch->stay.push_back(std::move(w));
             }
           }
-          MergeScratch(node, n, scratch);
+          MergeScratch(node, n, *scratch);
+          ReleaseScratch(node, std::move(scratch));
         });
+        node.parked.clear();  // drained; capacity persists across iterations
       });
       phase_times_.resolve += phase_timer.Seconds();
     }
@@ -898,7 +1158,7 @@ class WalkEngine {
           // moved walker is always the owner of its prev vertex.
           node_rank_t prev_owner = partition_.OwnerOf(w.prev);
           if (prev_owner != n || include_local_faults_) {
-            ack_mail_->Post(n, prev_owner, AckMsg{w.id, w.step});
+            ack_out_[prev_owner].push_back(AckMsg{w.id, w.step});
           }
           KK_DCHECK(w.id < walker_progress_.size());
           KK_DCHECK(w.step > 0);  // deployment never goes through the mailbox
@@ -908,6 +1168,10 @@ class WalkEngine {
           }
           walker_progress_[w.id] = w.step;
           node.next_active.push_back(std::move(w));
+        }
+        for (node_rank_t dst = 0; dst < num_nodes; ++dst) {
+          ack_mail_->Post(n, dst, std::move(ack_out_[dst]));
+          ack_out_[dst].clear();
         }
       }
       inbox.clear();
@@ -942,8 +1206,12 @@ class WalkEngine {
             fl.retries += 1;
             fl.age = 0;
             node.stats.walker_retransmits += 1;
-            walker_mail_->Post(n, fl.dst, fl.walker);
+            retransmit_out_[fl.dst].push_back(fl.walker);
           }
+        }
+        for (node_rank_t dst = 0; dst < num_nodes; ++dst) {
+          walker_mail_->Post(n, dst, std::move(retransmit_out_[dst]));
+          retransmit_out_[dst].clear();
         }
       }
     }
@@ -954,6 +1222,12 @@ class WalkEngine {
   WalkEngineOptions options_;
   Partition partition_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
+  // Persistent driver pool for parallel_nodes mode (null otherwise).
+  std::unique_ptr<ThreadPool> driver_pool_;
+  // Driver-only per-destination staging for ack and retransmit batches;
+  // reused across nodes and iterations (the delivery loop is sequential).
+  std::vector<std::vector<AckMsg>> ack_out_;
+  std::vector<std::vector<WalkerT>> retransmit_out_;
   StaticSamplerSet<EdgeData> sampler_;
   std::vector<real_t> upper_;
   std::vector<real_t> lower_;

@@ -16,6 +16,7 @@
 #include "src/graph/edge.h"
 #include "src/graph/edge_list.h"
 #include "src/util/check.h"
+#include "src/util/prefetch.h"
 #include "src/util/stats.h"
 #include "src/util/types.h"
 
@@ -73,6 +74,13 @@ class Csr {
   std::span<AdjUnit<EdgeData>> MutableNeighbors(vertex_id_t v) {
     KK_DCHECK(v < num_vertices());
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  // Hints the start of v's adjacency span into cache (engine locality pass:
+  // issued one walker ahead of use while processing a sorted batch).
+  void PrefetchNeighbors(vertex_id_t v) const {
+    KK_DCHECK(v < num_vertices());
+    KK_PREFETCH(adj_.data() + offsets_[v]);
   }
 
   // Binary search for `dst` among v's neighbors; returns the local edge index

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/thread_pool.h"
+
 namespace knightking {
 
 namespace alias_internal {
@@ -74,7 +76,7 @@ double BuildAliasRow(std::span<const real_t> weights, std::span<real_t> prob,
 }  // namespace alias_internal
 
 void FlatAliasTables::Build(std::span<const edge_index_t> offsets,
-                            std::span<const real_t> weights) {
+                            std::span<const real_t> weights, ThreadPool* pool) {
   KK_CHECK(!offsets.empty());
   size_t num_vertices = offsets.size() - 1;
   KK_CHECK(offsets.back() == weights.size());
@@ -83,19 +85,29 @@ void FlatAliasTables::Build(std::span<const edge_index_t> offsets,
   alias_.resize(weights.size());
   totals_.resize(num_vertices);
   max_weight_.resize(num_vertices);
-  for (size_t v = 0; v < num_vertices; ++v) {
-    edge_index_t begin = offsets[v];
-    edge_index_t end = offsets[v + 1];
-    size_t deg = static_cast<size_t>(end - begin);
-    std::span<const real_t> w(weights.data() + begin, deg);
-    std::span<real_t> p(prob_.data() + begin, deg);
-    std::span<uint32_t> a(alias_.data() + begin, deg);
-    totals_[v] = alias_internal::BuildAliasRow(w, p, a);
-    real_t max_w = 0.0f;
-    for (real_t x : w) {
-      max_w = std::max(max_w, x);
+  // Each vertex row writes a disjoint slice of prob_/alias_/totals_, so rows
+  // build embarrassingly parallel over vertex chunks.
+  auto build_rows = [&](size_t row_begin, size_t row_end) {
+    for (size_t v = row_begin; v < row_end; ++v) {
+      edge_index_t begin = offsets[v];
+      edge_index_t end = offsets[v + 1];
+      size_t deg = static_cast<size_t>(end - begin);
+      std::span<const real_t> w(weights.data() + begin, deg);
+      std::span<real_t> p(prob_.data() + begin, deg);
+      std::span<uint32_t> a(alias_.data() + begin, deg);
+      totals_[v] = alias_internal::BuildAliasRow(w, p, a);
+      real_t max_w = 0.0f;
+      for (real_t x : w) {
+        max_w = std::max(max_w, x);
+      }
+      max_weight_[v] = max_w;
     }
-    max_weight_[v] = max_w;
+  };
+  if (pool != nullptr && pool->num_workers() > 0) {
+    pool->ParallelFor(num_vertices, BuildChunkSize(num_vertices, pool->num_workers()),
+                      build_rows);
+  } else {
+    build_rows(0, num_vertices);
   }
 }
 

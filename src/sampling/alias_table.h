@@ -12,10 +12,13 @@
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/prefetch.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
 
 namespace knightking {
+
+class ThreadPool;
 
 namespace alias_internal {
 
@@ -72,8 +75,10 @@ class FlatAliasTables {
   FlatAliasTables() = default;
 
   // offsets: CSR offsets (size V+1); weights: per-edge static weights in CSR
-  // order (size E).
-  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights);
+  // order (size E). Rows are independent, so a non-null `pool` builds them in
+  // parallel (vertex-chunked); null builds sequentially.
+  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights,
+             ThreadPool* pool = nullptr);
 
   // Samples a local edge index (offset within v's adjacency).
   vertex_id_t Sample(vertex_id_t v, Rng& rng) const {
@@ -93,6 +98,14 @@ class FlatAliasTables {
   real_t MaxWeight(vertex_id_t v) const { return max_weight_[v]; }
 
   bool empty() const { return prob_.empty(); }
+
+  // Hints v's alias row into cache (engine locality pass).
+  void Prefetch(vertex_id_t v) const {
+    edge_index_t begin = offsets_[v];
+    KK_PREFETCH(prob_.data() + begin);
+    KK_PREFETCH(alias_.data() + begin);
+    KK_PREFETCH(totals_.data() + v);
+  }
 
  private:
   std::vector<edge_index_t> offsets_;

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/prefetch.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 #include "src/util/types.h"
 
 namespace knightking {
@@ -61,7 +63,10 @@ class FlatItsTables {
  public:
   FlatItsTables() = default;
 
-  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights) {
+  // Per-vertex CDF rows are independent; a non-null `pool` builds them in
+  // parallel over vertex chunks.
+  void Build(std::span<const edge_index_t> offsets, std::span<const real_t> weights,
+             ThreadPool* pool = nullptr) {
     KK_CHECK(!offsets.empty());
     size_t num_vertices = offsets.size() - 1;
     KK_CHECK(offsets.back() == weights.size());
@@ -69,16 +74,24 @@ class FlatItsTables {
     cdf_.resize(weights.size());
     totals_.resize(num_vertices);
     max_weight_.resize(num_vertices);
-    for (size_t v = 0; v < num_vertices; ++v) {
-      double sum = 0.0;
-      real_t max_w = 0.0f;
-      for (edge_index_t i = offsets[v]; i < offsets[v + 1]; ++i) {
-        sum += static_cast<double>(weights[i]);
-        max_w = std::max(max_w, weights[i]);
-        cdf_[i] = sum;
+    auto build_rows = [&](size_t row_begin, size_t row_end) {
+      for (size_t v = row_begin; v < row_end; ++v) {
+        double sum = 0.0;
+        real_t max_w = 0.0f;
+        for (edge_index_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+          sum += static_cast<double>(weights[i]);
+          max_w = std::max(max_w, weights[i]);
+          cdf_[i] = sum;
+        }
+        totals_[v] = sum;
+        max_weight_[v] = max_w;
       }
-      totals_[v] = sum;
-      max_weight_[v] = max_w;
+    };
+    if (pool != nullptr && pool->num_workers() > 0) {
+      pool->ParallelFor(num_vertices, BuildChunkSize(num_vertices, pool->num_workers()),
+                        build_rows);
+    } else {
+      build_rows(0, num_vertices);
     }
   }
 
@@ -99,6 +112,12 @@ class FlatItsTables {
   double TotalWeight(vertex_id_t v) const { return totals_[v]; }
   real_t MaxWeight(vertex_id_t v) const { return max_weight_[v]; }
   bool empty() const { return cdf_.empty() && totals_.empty(); }
+
+  // Hints v's CDF row into cache (engine locality pass).
+  void Prefetch(vertex_id_t v) const {
+    KK_PREFETCH(cdf_.data() + offsets_[v]);
+    KK_PREFETCH(totals_.data() + v);
+  }
 
  private:
   std::vector<edge_index_t> offsets_;

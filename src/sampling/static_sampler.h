@@ -15,6 +15,7 @@
 #include "src/sampling/its.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 #include "src/util/types.h"
 
 namespace knightking {
@@ -36,7 +37,11 @@ class StaticSamplerSet {
   using StaticCompFn = std::function<real_t(vertex_id_t, const AdjUnit<EdgeData>&)>;
 
   // static_comp == nullptr means "use the edge weight, or 1 if unweighted".
-  void Build(const Csr<EdgeData>& csr, StaticSamplerKind kind, const StaticCompFn& static_comp) {
+  // A non-null `pool` parallelizes both the weight materialization and the
+  // per-vertex table construction (rows are independent); static_comp must
+  // then be safe to call concurrently — the pure lambdas the apps supply are.
+  void Build(const Csr<EdgeData>& csr, StaticSamplerKind kind, const StaticCompFn& static_comp,
+             ThreadPool* pool = nullptr) {
     csr_ = &csr;
     bool custom = static_cast<bool>(static_comp);
     bool weighted = custom || HasWeight<EdgeData>;
@@ -48,22 +53,33 @@ class StaticSamplerSet {
       KK_CHECK(!weighted);  // uniform draws would silently ignore Ps
       return;
     }
-    // Materialize per-edge static weights in CSR order.
-    std::vector<real_t> weights;
-    weights.reserve(csr.num_edges());
-    std::vector<edge_index_t> offsets;
-    offsets.reserve(static_cast<size_t>(csr.num_vertices()) + 1);
-    offsets.push_back(0);
-    for (vertex_id_t v = 0; v < csr.num_vertices(); ++v) {
-      for (const auto& adj : csr.Neighbors(v)) {
-        weights.push_back(custom ? static_comp(v, adj) : StaticWeight(adj.data));
+    // Materialize per-edge static weights in CSR order: offsets first (a
+    // sequential O(V) prefix pass), then the per-edge fill over disjoint
+    // vertex chunks.
+    size_t num_v = csr.num_vertices();
+    std::vector<edge_index_t> offsets(num_v + 1, 0);
+    for (vertex_id_t v = 0; v < num_v; ++v) {
+      offsets[v + 1] = offsets[v] + csr.OutDegree(v);
+    }
+    std::vector<real_t> weights(csr.num_edges());
+    auto fill = [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        edge_index_t out = offsets[v];
+        for (const auto& adj : csr.Neighbors(static_cast<vertex_id_t>(v))) {
+          weights[out++] =
+              custom ? static_comp(static_cast<vertex_id_t>(v), adj) : StaticWeight(adj.data);
+        }
       }
-      offsets.push_back(static_cast<edge_index_t>(weights.size()));
+    };
+    if (pool != nullptr && pool->num_workers() > 0) {
+      pool->ParallelFor(num_v, BuildChunkSize(num_v, pool->num_workers()), fill);
+    } else {
+      fill(0, num_v);
     }
     if (kind_ == StaticSamplerKind::kAlias) {
-      alias_.Build(offsets, weights);
+      alias_.Build(offsets, weights, pool);
     } else {
-      its_.Build(offsets, weights);
+      its_.Build(offsets, weights, pool);
     }
   }
 
@@ -97,6 +113,16 @@ class StaticSamplerSet {
         break;
     }
     KK_CHECK(false);
+  }
+
+  // Hints v's sampler row into cache (engine locality pass). Uniform draws
+  // touch no per-vertex tables, so there is nothing to pull.
+  void Prefetch(vertex_id_t v) const {
+    if (kind_ == StaticSamplerKind::kAlias) {
+      alias_.Prefetch(v);
+    } else if (kind_ == StaticSamplerKind::kIts) {
+      its_.Prefetch(v);
+    }
   }
 
   // Max single Ps at v (outlier appendix width bound).

@@ -5,6 +5,7 @@
 #ifndef SRC_UTIL_CHECK_H_
 #define SRC_UTIL_CHECK_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +16,20 @@ namespace knightking {
   std::abort();
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+CheckFailedMsg(const char* expr, const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "KK_CHECK failed: %s at %s:%d: ", expr, file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
 }  // namespace knightking
 
 #define KK_CHECK(expr)                                       \
@@ -22,6 +37,15 @@ namespace knightking {
     if (!(expr)) {                                           \
       ::knightking::CheckFailed(#expr, __FILE__, __LINE__);  \
     }                                                        \
+  } while (0)
+
+// KK_CHECK with a printf-style diagnostic: use when the bare expression would
+// leave the operator guessing (which walker? expected what?).
+#define KK_CHECK_MSG(expr, ...)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::knightking::CheckFailedMsg(#expr, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                      \
   } while (0)
 
 #ifdef NDEBUG

@@ -1,0 +1,17 @@
+// Software prefetch hint used by the engine's locality pass.
+//
+// The sampling hot path knows which walker it will process next (batches are
+// locality-sorted), so it can pull the next walker's neighbor span and
+// sampler row into cache one walker ahead of use. A hint, not a load: wrong
+// or useless prefetches cost a slot, never correctness.
+#ifndef SRC_UTIL_PREFETCH_H_
+#define SRC_UTIL_PREFETCH_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+// Read prefetch with high temporal locality (the row is about to be used).
+#define KK_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define KK_PREFETCH(addr) ((void)(addr))
+#endif
+
+#endif  // SRC_UTIL_PREFETCH_H_

@@ -60,7 +60,17 @@ void ThreadPool::ParallelFor(size_t total, size_t chunk_size,
     current_job_ = &job;
     ++job_epoch_;
   }
-  work_ready_.notify_all();
+  // Wake only as many workers as there are chunks beyond the caller's own:
+  // small jobs (the per-node driver dispatch, light batches just above the
+  // inline threshold) otherwise pay a full notify_all stampede per phase.
+  size_t useful_workers = job.num_chunks - 1;  // caller runs chunks too
+  if (useful_workers >= workers_.size()) {
+    work_ready_.notify_all();
+  } else {
+    for (size_t i = 0; i < useful_workers; ++i) {
+      work_ready_.notify_one();
+    }
+  }
 
   // The caller participates too; this also guarantees progress when workers
   // are descheduled (we run on machines with fewer cores than workers).

@@ -21,6 +21,14 @@ namespace knightking {
 // KnightKing's dynamic-scheduling granularity for walkers and messages.
 inline constexpr size_t kDefaultChunkSize = 128;
 
+// Chunk size for coarse-grained parallel builds over `total` independent rows
+// (sampler tables, envelope arrays): a few chunks per worker amortizes
+// dispatch while still load-balancing skewed per-row costs.
+inline size_t BuildChunkSize(size_t total, size_t num_workers) {
+  size_t chunk = total / (8 * (num_workers + 1));
+  return chunk < 256 ? 256 : chunk;
+}
+
 class ThreadPool {
  public:
   // Creates `num_workers` persistent threads. 0 means "run inline on the

@@ -17,6 +17,7 @@
 #include "src/graph/annotate.h"
 #include "src/graph/csr.h"
 #include "src/graph/generators.h"
+#include "src/testing/fault_injector.h"
 #include "src/util/thread_pool.h"
 #include "tests/test_util.h"
 
@@ -351,6 +352,49 @@ TEST(ForceRemoteQueriesTest, SameResultsMoreMessages) {
   EXPECT_GT(remote_queries[1], remote_queries[0]);
 }
 
+
+TEST(BatchSortModeTest, PathEntriesIdenticalAcrossSortModesWorkersAndFaults) {
+  // The locality sort is a pure processing-order change: TakePathEntries()
+  // must be byte-identical with sorting forced on vs off, with and without
+  // per-node worker pools, and with the fault injector attached (which also
+  // switches the engine from the index-keyed fast query protocol back to the
+  // content-keyed map protocol).
+  auto graph = GenerateTruncatedPowerLaw(500, 2.0, 4, 80, 29);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 12};
+  std::vector<PathEntry> reference;
+  for (BatchSortMode sort_mode : {BatchSortMode::kAlways, BatchSortMode::kNever}) {
+    for (size_t workers : {size_t{0}, size_t{4}}) {
+      for (bool faulted : {false, true}) {
+        FaultPolicy policy;
+        policy.drop = 0.1;
+        policy.delay = 0.1;
+        policy.seed = 43;
+        FaultInjector injector(policy);
+        WalkEngineOptions opts;
+        opts.num_nodes = 4;
+        opts.workers_per_node = workers;
+        opts.parallel_nodes = workers > 0;
+        opts.sort_batches = sort_mode;
+        opts.collect_paths = true;
+        opts.seed = 41;
+        if (faulted) {
+          opts.fault_injector = &injector;
+        }
+        WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(graph), opts);
+        engine.Run(Node2VecTransition(engine.graph(), params), Node2VecWalkers(400, params));
+        std::vector<PathEntry> entries = engine.TakePathEntries();
+        ASSERT_FALSE(entries.empty());
+        if (reference.empty()) {
+          reference = std::move(entries);
+        } else {
+          EXPECT_EQ(entries, reference)
+              << "sort=" << static_cast<int>(sort_mode) << " workers=" << workers
+              << " faulted=" << faulted;
+        }
+      }
+    }
+  }
+}
 
 TEST(ParallelNodesTest, CombinedConcurrencyModesMatchSequential) {
   // Everything at once: parallel node threads, per-node worker pools, light
