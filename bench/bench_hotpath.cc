@@ -17,12 +17,17 @@
 //                  below the floor
 //   --workers N    workers per node          (default 4)
 //   --no-sort      disable the locality batch sort (ablation)
+//   --metrics-out FILE  write a kk-metrics snapshot (engine ExportMetrics,
+//                       one label set per workload) alongside the bench JSON
+//   --trace FILE   record per-phase spans and write chrome://tracing JSON
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace knightking {
 namespace bench {
@@ -34,6 +39,8 @@ struct HotpathConfig {
   size_t workers_per_node = 4;
   std::string out_path = "BENCH_hotpath.json";
   std::string floor_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 struct WorkloadResult {
@@ -63,9 +70,11 @@ WalkEngineOptions HotpathOptions(const HotpathConfig& config) {
 template <typename MakeSpec, typename Walkers>
 WorkloadResult RunWorkload(const std::string& name, const EdgeList<EmptyEdgeData>& edges,
                            const HotpathConfig& config, const MakeSpec& make_spec,
-                           const Walkers& walkers) {
-  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges),
-                                   HotpathOptions(config));
+                           const Walkers& walkers, obs::MetricsRegistry* metrics,
+                           obs::TraceRecorder* trace) {
+  WalkEngineOptions opts = HotpathOptions(config);
+  opts.trace = trace;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
   WorkloadResult result;
   result.name = name;
   result.walkers = walkers.num_walkers;
@@ -77,7 +86,21 @@ WorkloadResult RunWorkload(const std::string& name, const EdgeList<EmptyEdgeData
   result.phases = engine.phase_times();
   result.cross_node_messages = engine.cross_node_messages();
   result.cross_node_bytes = engine.cross_node_bytes();
+  if (metrics != nullptr) {
+    engine.ExportMetrics(*metrics, {{"workload", name}});
+  }
   return result;
+}
+
+void WriteTextFile(const std::string& path, const std::string& contents, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hotpath: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
 }
 
 void WriteJson(const HotpathConfig& config, const std::vector<WorkloadResult>& results,
@@ -188,10 +211,14 @@ int Main(int argc, char** argv) {
       config.floor_path = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.workers_per_node = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      config.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      config.trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--small] [--out FILE] [--floor FILE] "
-                   "[--workers N] [--no-sort]\n");
+                   "[--workers N] [--no-sort] [--metrics-out FILE] [--trace FILE]\n");
       return 2;
     }
   }
@@ -207,17 +234,21 @@ int Main(int argc, char** argv) {
   PrintRule();
 
   std::vector<WorkloadResult> results;
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry* metrics_ptr = config.metrics_path.empty() ? nullptr : &metrics;
+  obs::TraceRecorder trace;
+  obs::TraceRecorder* trace_ptr = config.trace_path.empty() ? nullptr : &trace;
 
   Node2VecParams n2v{.p = 0.5, .q = 2.0, .walk_length = 80};
   results.push_back(RunWorkload(
       "node2vec", edges, config,
       [&n2v](const auto& g) { return Node2VecTransition(g, n2v); },
-      Node2VecWalkers(num_vertices, n2v)));
+      Node2VecWalkers(num_vertices, n2v), metrics_ptr, trace_ptr));
 
   PprParams ppr;
   results.push_back(RunWorkload(
       "ppr", edges, config, [](const auto&) { return PprTransition<EmptyEdgeData>(); },
-      PprWalkers(num_vertices, ppr)));
+      PprWalkers(num_vertices, ppr), metrics_ptr, trace_ptr));
 
   std::printf("%10s %10s %14s %14s %12s %14s\n", "workload", "time(s)", "walks/sec",
               "steps/sec", "edges/step", "xnode bytes");
@@ -229,6 +260,12 @@ int Main(int argc, char** argv) {
   }
 
   WriteJson(config, results, num_vertices, num_edges);
+  if (metrics_ptr != nullptr) {
+    WriteTextFile(config.metrics_path, metrics.ToJson(), "metrics snapshot");
+  }
+  if (trace_ptr != nullptr) {
+    WriteTextFile(config.trace_path, trace.ToChromeJson(), "chrome trace");
+  }
   if (!config.floor_path.empty() && !CheckFloor(config, results)) {
     return 1;
   }

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/counters.h"
 #include "src/testing/fault_injector.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
@@ -37,7 +38,12 @@ class Mailbox {
       : num_nodes_(num_nodes),
         outgoing_(static_cast<size_t>(num_nodes) * num_nodes),
         incoming_(num_nodes),
-        locks_(static_cast<size_t>(num_nodes) * num_nodes) {}
+        locks_(static_cast<size_t>(num_nodes) * num_nodes) {
+#if KK_OBS
+    posted_messages_.assign(outgoing_.size(), 0);
+    posted_bytes_.assign(outgoing_.size(), 0);
+#endif
+  }
 
   node_rank_t num_nodes() const { return num_nodes_; }
 
@@ -58,6 +64,10 @@ class Mailbox {
     }
     size_t ch = Channel(src, dst);
     std::lock_guard<std::mutex> lock(locks_[ch].m);
+#if KK_OBS
+    posted_messages_[ch] += batch.size();
+    posted_bytes_[ch] += batch.size() * sizeof(MessageT);
+#endif
     auto& buf = outgoing_[ch];
     buf.insert(buf.end(), std::make_move_iterator(batch.begin()),
                std::make_move_iterator(batch.end()));
@@ -69,6 +79,10 @@ class Mailbox {
   void Post(node_rank_t src, node_rank_t dst, const MessageT& msg) {
     size_t ch = Channel(src, dst);
     std::lock_guard<std::mutex> lock(locks_[ch].m);
+#if KK_OBS
+    posted_messages_[ch] += 1;
+    posted_bytes_[ch] += sizeof(MessageT);
+#endif
     outgoing_[ch].push_back(msg);
   }
 
@@ -143,9 +157,35 @@ class Mailbox {
   uint64_t cross_node_messages() const { return cross_node_messages_; }
   uint64_t cross_node_bytes() const { return cross_node_bytes_; }
 
+  // Messages/bytes posted on the (src, dst) channel so far, including
+  // node-local traffic (observability layer; zero when built with
+  // -DKK_OBS=OFF). Driver-only: do not call with Posts in flight.
+  uint64_t posted_messages(node_rank_t src, node_rank_t dst) const {
+#if KK_OBS
+    return posted_messages_[Channel(src, dst)];
+#else
+    (void)src;
+    (void)dst;
+    return 0;
+#endif
+  }
+  uint64_t posted_bytes(node_rank_t src, node_rank_t dst) const {
+#if KK_OBS
+    return posted_bytes_[Channel(src, dst)];
+#else
+    (void)src;
+    (void)dst;
+    return 0;
+#endif
+  }
+
   void ResetCounters() {
     cross_node_messages_ = 0;
     cross_node_bytes_ = 0;
+#if KK_OBS
+    posted_messages_.assign(posted_messages_.size(), 0);
+    posted_bytes_.assign(posted_bytes_.size(), 0);
+#endif
   }
 
  private:
@@ -163,6 +203,12 @@ class Mailbox {
   std::vector<std::vector<MessageT>> incoming_;
   std::vector<std::vector<MessageT>> delayed_;
   std::vector<ChannelLock> locks_;
+#if KK_OBS
+  // Per-channel posted totals (observability; counted under the channel
+  // lock the Post already holds, so the overhead is two adds per batch).
+  std::vector<uint64_t> posted_messages_;
+  std::vector<uint64_t> posted_bytes_;
+#endif
   uint64_t cross_node_messages_ = 0;
   uint64_t cross_node_bytes_ = 0;
   uint64_t epoch_ = 0;

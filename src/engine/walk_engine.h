@@ -36,11 +36,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/engine/mailbox.h"
+#include "src/obs/counters.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/engine/transition.h"
 #include "src/engine/walker.h"
 #include "src/graph/csr.h"
@@ -127,6 +131,12 @@ struct WalkEngineOptions {
   // enough for cache effects to dominate the O(n log n) cost.
   BatchSortMode sort_batches = BatchSortMode::kAuto;
   size_t sort_batches_threshold = 2048;
+  // Trace recording (runtime toggle; see src/obs/trace.h). When non-null the
+  // engine records one span per BSP phase per iteration at the driver level
+  // plus one span per logical node inside each phase, exportable to
+  // chrome://tracing JSON. Null costs nothing — the engine never reads the
+  // clock for tracing unless a recorder is attached.
+  obs::TraceRecorder* trace = nullptr;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -205,8 +215,23 @@ class WalkEngine {
     reliable_ = options_.fault_injector != nullptr;
     include_local_faults_ =
         reliable_ && options_.fault_injector->policy().include_local;
+    obs::TraceRecorder* const trace = options_.trace;
+    if (trace != nullptr) {
+      trace->SetProcessName(0, "driver");
+      for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
+        trace->SetProcessName(n + 1u, "node " + std::to_string(n));
+      }
+    }
+    double span_start = trace != nullptr ? trace->Now() : 0.0;
     Prepare();
+    if (trace != nullptr) {
+      trace->RecordSpan("prepare", 0, 0, span_start, trace->Now() - span_start, 0);
+      span_start = trace->Now();
+    }
     DeployWalkers();
+    if (trace != nullptr) {
+      trace->RecordSpan("deploy", 0, 0, span_start, trace->Now() - span_start, 0);
+    }
 
     active_history_.clear();
     walker_mail_ = std::make_unique<Mailbox<WalkerT>>(options_.num_nodes);
@@ -329,6 +354,91 @@ class WalkEngine {
     return paths;
   }
 
+  // Per-node phase-attributed counters of the last Run (empty no-op type
+  // when built with -DKK_OBS=OFF; see src/obs/counters.h).
+  const obs::PhaseAccumulator& node_observability(node_rank_t n) const {
+    return nodes_[n]->obs;
+  }
+
+  // Publishes the last Run's counters into `out` under the metrics-snapshot
+  // schema (docs/OBSERVABILITY.md). `base_labels` is attached to every
+  // metric (e.g. {{"workload", "node2vec"}}). Aggregate counters, phase
+  // timings, and cross-node totals are always available; the per-node
+  // per-phase breakdown, scratch-pool counters, and the per-destination
+  // mailbox matrix additionally require a KK_OBS build.
+  void ExportMetrics(obs::MetricsRegistry& out, const obs::Labels& base_labels = {}) const {
+    auto with = [&base_labels](obs::Labels extra) {
+      extra.insert(extra.end(), base_labels.begin(), base_labels.end());
+      return extra;
+    };
+    last_stats_.ForEachField([&](const char* field, uint64_t v) {
+      out.AddCounter(std::string("engine.") + field, with({}), v);
+    });
+    out.SetGauge("engine.acceptance_rate", with({}), last_stats_.AcceptanceRate(),
+                 /*stable=*/true);
+    out.AddCounter("engine.sampler_bytes", with({}), sampler_.MemoryBytes());
+    out.SetGauge("engine.phase_seconds", with({{"phase", "sample"}}), phase_times_.sample);
+    out.SetGauge("engine.phase_seconds", with({{"phase", "respond"}}), phase_times_.respond);
+    out.SetGauge("engine.phase_seconds", with({{"phase", "resolve"}}), phase_times_.resolve);
+    out.SetGauge("engine.phase_seconds", with({{"phase", "exchange"}}), phase_times_.exchange);
+    if (obs::kObsEnabled) {
+      // Scratch-pool reuse depends on worker-pool scheduling, so it is only
+      // a stable (run-to-run comparable) metric when chunks run inline.
+      const bool scratch_stable = options_.workers_per_node == 0;
+      for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
+        const obs::PhaseAccumulator& acc = nodes_[n]->obs;
+        obs::Labels node_label = {{"node", std::to_string(n)}};
+        for (size_t p = 0; p < obs::kNumPhases; ++p) {
+          auto phase = static_cast<obs::Phase>(p);
+          SamplingStats stats = acc.Stats(phase);
+          stats.ForEachField([&](const char* field, uint64_t v) {
+            if (v != 0) {
+              out.AddCounter(std::string("engine.phase.") + field,
+                             with({{"node", std::to_string(n)},
+                                   {"phase", obs::PhaseName(phase)}}),
+                             v);
+            }
+          });
+        }
+        out.AddCounter("engine.scratch_pool.hits", with(node_label), acc.scratch_hits,
+                       scratch_stable);
+        out.AddCounter("engine.scratch_pool.misses", with(node_label), acc.scratch_misses,
+                       scratch_stable);
+        out.AddCounter("engine.batch_sorts", with(node_label), acc.batch_sorts);
+      }
+    }
+    auto export_mailbox = [&](const char* name, const auto& mail) {
+      if (mail == nullptr) {
+        return;
+      }
+      obs::Labels mail_label = {{"mailbox", name}};
+      out.AddCounter("engine.mailbox.cross_node_messages", with(mail_label),
+                     mail->cross_node_messages());
+      out.AddCounter("engine.mailbox.cross_node_bytes", with(mail_label),
+                     mail->cross_node_bytes());
+      if (obs::kObsEnabled) {
+        for (node_rank_t src = 0; src < options_.num_nodes; ++src) {
+          for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
+            uint64_t messages = mail->posted_messages(src, dst);
+            if (messages == 0) {
+              continue;
+            }
+            obs::Labels channel = {{"mailbox", name},
+                                   {"src", std::to_string(src)},
+                                   {"dst", std::to_string(dst)}};
+            out.AddCounter("engine.mailbox.posted_messages", with(channel), messages);
+            out.AddCounter("engine.mailbox.posted_bytes", with(channel),
+                           mail->posted_bytes(src, dst));
+          }
+        }
+      }
+    };
+    export_mailbox("walker", walker_mail_);
+    export_mailbox("query", query_mail_);
+    export_mailbox("response", response_mail_);
+    export_mailbox("ack", ack_mail_);
+  }
+
  private:
   // Pending trials are keyed by walker id (a walker has at most one trial in
   // flight), and `epoch` (the superstep the trial was parked) guards against
@@ -427,6 +537,9 @@ class WalkEngine {
     std::unordered_map<walker_id_t, InFlightMove> in_flight;
     std::vector<PathEntry> path_log;
     SamplingStats stats;
+    // Phase-attributed counters (guarded by merge_mutex; empty no-op type
+    // under -DKK_OBS=OFF).
+    obs::PhaseAccumulator obs;
     std::unique_ptr<ThreadPool> pool;
     std::mutex merge_mutex;
     // Scratch freelist (guarded by merge_mutex): grows to the number of
@@ -448,10 +561,12 @@ class WalkEngine {
     {
       std::lock_guard<std::mutex> lock(node.merge_mutex);
       if (!node.scratch_pool.empty()) {
+        node.obs.CountScratch(/*hit=*/true);
         std::unique_ptr<Scratch> scratch = std::move(node.scratch_pool.back());
         node.scratch_pool.pop_back();
         return scratch;
       }
+      node.obs.CountScratch(/*hit=*/false);
     }
     auto scratch = std::make_unique<Scratch>();
     scratch->Clear(options_.num_nodes);
@@ -537,6 +652,7 @@ class WalkEngine {
       node->in_flight.clear();
       node->path_log.clear();
       node->stats = SamplingStats{};
+      node->obs.Reset();
       node->requery_out.resize(options_.num_nodes);
     }
     ack_out_.resize(options_.num_nodes);
@@ -699,6 +815,7 @@ class WalkEngine {
         return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
       }
       stats.trials += 1;
+      stats.trial_accepts += 1;
       return {TrialOutcome::kAccept, sampler_.Sample(v, w.rng), 0.0f, 0};
     }
 
@@ -730,6 +847,7 @@ class WalkEngine {
       k = std::min(k, outlier_count - 1);
       std::optional<vertex_id_t> idx = transition_->outlier_locate(w, v, k);
       if (!idx.has_value()) {
+        stats.trial_rejects += 1;
         return {TrialOutcome::kReject, 0, 0.0f, 0};
       }
       const AdjT& edge = graph_.Neighbors(v)[*idx];
@@ -739,8 +857,10 @@ class WalkEngine {
           std::max(0.0, static_cast<double>(pd) - static_cast<double>(q)) *
           static_cast<double>(PsOf(v, edge));
       if (w.rng.NextDouble(appendix_block) < chopped) {
+        stats.trial_accepts += 1;
         return {TrialOutcome::kAccept, *idx, 0.0f, 0};
       }
+      stats.trial_rejects += 1;
       return {TrialOutcome::kReject, 0, 0.0f, 0};
     }
 
@@ -748,18 +868,23 @@ class WalkEngine {
     real_t y = static_cast<real_t>(w.rng.NextDouble(q));
     if (!lower_.empty() && y < lower_[v]) {
       stats.pre_accepts += 1;
+      stats.trial_accepts += 1;
       return {TrialOutcome::kAccept, candidate, y, 0};
     }
     const AdjT& edge = graph_.Neighbors(v)[candidate];
     if (second_order_) {
       std::optional<vertex_id_t> target = transition_->post_query(w, v, edge);
       if (target.has_value()) {
+        // Neither accepted nor rejected yet: counted when the parked trial
+        // resolves (locally below, or in phase C after the response).
         return {TrialOutcome::kNeedQuery, candidate, y, *target};
       }
     }
     stats.pd_computations += 1;
     real_t pd = transition_->dynamic_comp(w, v, edge, std::nullopt);
-    return {y < pd ? TrialOutcome::kAccept : TrialOutcome::kReject, candidate, y, 0};
+    bool accept = y < pd;
+    (accept ? stats.trial_accepts : stats.trial_rejects) += 1;
+    return {accept ? TrialOutcome::kAccept : TrialOutcome::kReject, candidate, y, 0};
   }
 
   // Exact fallback after repeated rejections (lockstep mode only): one full
@@ -872,8 +997,10 @@ class WalkEngine {
       scratch.stats.pd_computations += 1;
       real_t pd = transition_->dynamic_comp(w, w.cur, edge, resp);
       if (r.y < pd) {
+        scratch.stats.trial_accepts += 1;
         CommitMove(w, r.candidate, node_rank, scratch);
       } else {
+        scratch.stats.trial_rejects += 1;
         scratch.stay.push_back(std::move(w));
       }
       return;
@@ -898,7 +1025,7 @@ class WalkEngine {
   // Merges chunk-local results into node state and flushes every outbound
   // buffer as one batch Post per destination (one channel lock per batch,
   // not one per message).
-  void MergeScratch(NodeState& node, node_rank_t node_rank, Scratch& scratch) {
+  void MergeScratch(NodeState& node, node_rank_t node_rank, Scratch& scratch, obs::Phase phase) {
     size_t num_queries = 0;
     for (const auto& q : scratch.queries) {
       num_queries += q.size();
@@ -908,6 +1035,7 @@ class WalkEngine {
     {
       std::lock_guard<std::mutex> lock(node.merge_mutex);
       node.stats.Merge(scratch.stats);
+      node.obs.MergeStats(phase, scratch.stats);
       node.next_active.insert(node.next_active.end(),
                               std::make_move_iterator(scratch.stay.begin()),
                               std::make_move_iterator(scratch.stay.end()));
@@ -971,14 +1099,18 @@ class WalkEngine {
   void RunIteration() {
     node_rank_t num_nodes = options_.num_nodes;
     Timer phase_timer;
+    obs::TraceRecorder* const trace = options_.trace;
+    double span_start = trace != nullptr ? trace->Now() : 0.0;
 
     // Phase A: every active walker performs its sampling work.
     ForEachNode([&](node_rank_t n) {
       NodeState& node = *nodes_[n];
+      double node_start = trace != nullptr ? trace->Now() : 0.0;
       std::vector<WalkerT> batch = std::move(node.active);
       node.active.clear();
       if (ShouldSortBatch(batch.size())) {
         SortBatchByLocality(node, batch);
+        node.obs.CountBatchSort();
       }
       ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
         std::unique_ptr<Scratch> scratch = AcquireScratch(node);
@@ -992,11 +1124,17 @@ class WalkEngine {
             LockstepWalk(batch[i], n, *scratch);
           }
         }
-        MergeScratch(node, n, *scratch);
+        MergeScratch(node, n, *scratch, obs::Phase::kSample);
         ReleaseScratch(node, std::move(scratch));
       });
+      if (trace != nullptr) {
+        trace->RecordSpan("sample", n + 1u, 0, node_start, trace->Now() - node_start, superstep_);
+      }
     });
     phase_times_.sample += phase_timer.Seconds();
+    if (trace != nullptr) {
+      trace->RecordSpan("sample", 0, 0, span_start, trace->Now() - span_start, superstep_);
+    }
 
     if (second_order_) {
       // Phase B: deliver queries; owners answer them.
@@ -1004,8 +1142,12 @@ class WalkEngine {
       query_mail_->Exchange();
       phase_times_.exchange += phase_timer.Seconds();
       phase_timer.Restart();
+      if (trace != nullptr) {
+        span_start = trace->Now();
+      }
       ForEachNode([&](node_rank_t n) {
         NodeState& node = *nodes_[n];
+        double node_start = trace != nullptr ? trace->Now() : 0.0;
         auto& inbox = query_mail_->Inbox(n);
         if (options_.deterministic) {
           std::sort(inbox.begin(), inbox.end(),
@@ -1028,16 +1170,28 @@ class WalkEngine {
           ReleaseScratch(node, std::move(scratch));
         });
         inbox.clear();
+        if (trace != nullptr) {
+          trace->RecordSpan("respond", n + 1u, 0, node_start, trace->Now() - node_start,
+                            superstep_);
+        }
       });
       phase_times_.respond += phase_timer.Seconds();
+      if (trace != nullptr) {
+        trace->RecordSpan("respond", 0, 0, span_start, trace->Now() - span_start, superstep_);
+      }
 
       // Phase C: responses return; parked trials decide.
       phase_timer.Restart();
       response_mail_->Exchange();
       phase_times_.exchange += phase_timer.Seconds();
       phase_timer.Restart();
+      if (trace != nullptr) {
+        span_start = trace->Now();
+      }
       ForEachNode([&](node_rank_t n) {
         NodeState& node = *nodes_[n];
+        double node_start = trace != nullptr ? trace->Now() : 0.0;
+        SamplingStats resolve_delta;
         auto& resp_inbox = response_mail_->Inbox(n);
         std::vector<PendingTrial> map_resolved;
         if (FastQueryProtocol()) {
@@ -1062,7 +1216,7 @@ class WalkEngine {
               // Duplicate of an already-resolved trial, or a late answer to a
               // query that was re-issued (the retry carries the same epoch, so
               // either copy's answer is accepted — respond_query is pure).
-              node.stats.stale_responses += 1;
+              resolve_delta.stale_responses += 1;
               continue;
             }
             it->second.response = resp.payload;
@@ -1085,7 +1239,7 @@ class WalkEngine {
                 KK_CHECK(trial.retries < options_.max_retries);
                 trial.retries += 1;
                 trial.age = 0;
-                node.stats.query_retries += 1;
+                resolve_delta.query_retries += 1;
                 const WalkerT& w = trial.walker;
                 vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
                 node.requery_out[partition_.OwnerOf(trial.query_target)].push_back(
@@ -1123,24 +1277,39 @@ class WalkEngine {
             scratch->stats.pd_computations += 1;
             real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
             if (trial.y < pd) {
+              scratch->stats.trial_accepts += 1;
               CommitMove(w, trial.candidate, n, *scratch);
             } else {
+              scratch->stats.trial_rejects += 1;
               scratch->stay.push_back(std::move(w));
             }
           }
-          MergeScratch(node, n, *scratch);
+          MergeScratch(node, n, *scratch, obs::Phase::kResolve);
           ReleaseScratch(node, std::move(scratch));
         });
         node.parked.clear();  // drained; capacity persists across iterations
+        node.stats.Merge(resolve_delta);
+        node.obs.MergeStats(obs::Phase::kResolve, resolve_delta);
+        if (trace != nullptr) {
+          trace->RecordSpan("resolve", n + 1u, 0, node_start, trace->Now() - node_start,
+                            superstep_);
+        }
       });
       phase_times_.resolve += phase_timer.Seconds();
+      if (trace != nullptr) {
+        trace->RecordSpan("resolve", 0, 0, span_start, trace->Now() - span_start, superstep_);
+      }
     }
 
     // Walker movement: deliver and merge into next iteration's active sets.
     phase_timer.Restart();
+    if (trace != nullptr) {
+      span_start = trace->Now();
+    }
     walker_mail_->Exchange();
     for (node_rank_t n = 0; n < num_nodes; ++n) {
       NodeState& node = *nodes_[n];
+      SamplingStats exchange_delta;
       auto& inbox = walker_mail_->Inbox(n);
       if (options_.deterministic) {
         std::sort(inbox.begin(), inbox.end(), [](const WalkerT& a, const WalkerT& b) {
@@ -1163,7 +1332,7 @@ class WalkEngine {
           KK_DCHECK(w.id < walker_progress_.size());
           KK_DCHECK(w.step > 0);  // deployment never goes through the mailbox
           if (w.step <= walker_progress_[w.id]) {
-            node.stats.duplicates_suppressed += 1;
+            exchange_delta.duplicates_suppressed += 1;
             continue;  // duplicate or retransmit of an already-accepted step
           }
           walker_progress_[w.id] = w.step;
@@ -1183,6 +1352,8 @@ class WalkEngine {
         std::sort(node.active.begin(), node.active.end(),
                   [](const WalkerT& a, const WalkerT& b) { return a.id < b.id; });
       }
+      node.stats.Merge(exchange_delta);
+      node.obs.MergeStats(obs::Phase::kExchange, exchange_delta);
     }
     // Ack processing: retire acknowledged in-flight copies, retransmit the
     // timed-out ones (reliability protocol; no-op fault-free).
@@ -1190,6 +1361,7 @@ class WalkEngine {
       ack_mail_->Exchange();
       for (node_rank_t n = 0; n < num_nodes; ++n) {
         NodeState& node = *nodes_[n];
+        SamplingStats ack_delta;
         for (const AckMsg& a : ack_mail_->Inbox(n)) {
           auto it = node.in_flight.find(a.walker);
           if (it != node.in_flight.end() && it->second.walker.step == a.step) {
@@ -1205,7 +1377,7 @@ class WalkEngine {
             KK_CHECK(fl.retries < options_.max_retries);
             fl.retries += 1;
             fl.age = 0;
-            node.stats.walker_retransmits += 1;
+            ack_delta.walker_retransmits += 1;
             retransmit_out_[fl.dst].push_back(fl.walker);
           }
         }
@@ -1213,9 +1385,14 @@ class WalkEngine {
           walker_mail_->Post(n, dst, std::move(retransmit_out_[dst]));
           retransmit_out_[dst].clear();
         }
+        node.stats.Merge(ack_delta);
+        node.obs.MergeStats(obs::Phase::kExchange, ack_delta);
       }
     }
     phase_times_.exchange += phase_timer.Seconds();
+    if (trace != nullptr) {
+      trace->RecordSpan("exchange", 0, 0, span_start, trace->Now() - span_start, superstep_);
+    }
   }
 
   Csr<EdgeData> graph_;

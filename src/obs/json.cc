@@ -1,0 +1,246 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace knightking {
+namespace obs {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) {
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+ private:
+  // Containers nested deeper than this fail rather than overflow the stack.
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail(std::string("expected '") + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          // Preserved verbatim (validation cares about structure, not text).
+          *out += "\\u";
+          *out += text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("invalid escape sequence");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out->type_ = JsonValue::Type::kObject;
+        SkipWhitespace();
+        if (Consume('}')) {
+          return true;
+        }
+        for (;;) {
+          SkipWhitespace();
+          std::string key;
+          if (!ParseString(&key)) {
+            return false;
+          }
+          SkipWhitespace();
+          if (!Consume(':')) {
+            return Fail("expected ':' after object key");
+          }
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) {
+            return false;
+          }
+          out->object_.emplace_back(std::move(key), std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) {
+            continue;
+          }
+          if (Consume('}')) {
+            return true;
+          }
+          return Fail("expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out->type_ = JsonValue::Type::kArray;
+        SkipWhitespace();
+        if (Consume(']')) {
+          return true;
+        }
+        for (;;) {
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) {
+            return false;
+          }
+          out->array_.push_back(std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) {
+            continue;
+          }
+          if (Consume(']')) {
+            return true;
+          }
+          return Fail("expected ',' or ']' in array");
+        }
+      }
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return ParseLiteral("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return ParseLiteral("false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return ParseLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  *out = JsonValue();
+  JsonParser parser(text, error);
+  return parser.ParseDocument(out);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace obs
+}  // namespace knightking

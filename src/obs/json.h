@@ -1,0 +1,61 @@
+// Minimal JSON DOM parser for the observability tooling.
+//
+// Parses the JSON the repo itself emits (metrics snapshots, BENCH_*.json,
+// chrome traces) so kk-metrics can validate and summarize them without an
+// external dependency. Strict where it matters for validation — rejects
+// trailing garbage, unterminated strings/containers, and malformed numbers —
+// and supports the common escape sequences. Not a general-purpose parser:
+// \uXXXX escapes outside ASCII are preserved verbatim rather than decoded.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace knightking {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses `text` into *out. Returns false and sets *error (with a byte
+  // offset) on malformed input.
+  static bool Parse(std::string_view text, JsonValue* out, std::string* error);
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  // Object members in document order (duplicate keys are preserved).
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const { return object_; }
+
+  // First member named `key`, or nullptr. Objects only.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace obs
+}  // namespace knightking
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,145 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace knightking {
+namespace obs {
+namespace {
+
+// JSON string escaping for names, label keys, and label values.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string CanonicalKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+void MetricsRegistry::AddCounter(const std::string& name, Labels labels, uint64_t value,
+                                 bool stable) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = CanonicalKey(name, labels);
+  auto [it, inserted] = metrics_.try_emplace(std::move(key));
+  Metric& m = it->second;
+  if (inserted) {
+    m.name = name;
+    m.labels = std::move(labels);
+    m.stable = stable;
+  } else {
+    KK_CHECK(m.integral);  // a gauge and a counter share a (name, labels) key
+    KK_CHECK(m.stable == stable);
+  }
+  m.ivalue += value;
+  m.dvalue = static_cast<double>(m.ivalue);
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, Labels labels, double value,
+                               bool stable) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = CanonicalKey(name, labels);
+  auto [it, inserted] = metrics_.try_emplace(std::move(key));
+  Metric& m = it->second;
+  if (inserted) {
+    m.name = name;
+    m.labels = std::move(labels);
+  } else {
+    KK_CHECK(!m.integral);  // a counter and a gauge share a (name, labels) key
+  }
+  m.integral = false;
+  m.stable = stable;
+  m.dvalue = value;
+  m.ivalue = 0;
+}
+
+std::vector<const Metric*> MetricsRegistry::Sorted() const {
+  std::vector<const Metric*> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, m] : metrics_) {
+    out.push_back(&m);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson(Snapshot mode) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"kind\": \"";
+  out += kKind;
+  out += "\",\n";
+  out += "  \"metrics\": [";
+  bool first = true;
+  for (const auto& [key, m] : metrics_) {
+    if (mode == Snapshot::kStableOnly && !m.stable) {
+      continue;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    AppendEscaped(&out, m.name);
+    out += "\", \"labels\": {";
+    for (size_t i = 0; i < m.labels.size(); ++i) {
+      out += i == 0 ? "\"" : ", \"";
+      AppendEscaped(&out, m.labels[i].first);
+      out += "\": \"";
+      AppendEscaped(&out, m.labels[i].second);
+      out += "\"";
+    }
+    out += "}, \"stable\": ";
+    out += m.stable ? "true" : "false";
+    out += ", \"value\": ";
+    char buf[64];
+    if (m.integral) {
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, m.ivalue);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.9g", m.dvalue);
+    }
+    out += buf;
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace knightking

@@ -1,0 +1,77 @@
+// MetricsRegistry: a labeled-counter snapshot with a stable JSON schema.
+//
+// Producers (the engine's ExportMetrics, benches, tools) publish counters and
+// gauges under (name, labels) keys; ToJson() serializes them in canonical
+// order so two snapshots of identical state are byte-identical. Metrics are
+// tagged `stable` when their value is a pure function of (graph, options,
+// seed) — wall-clock gauges and scheduling-dependent counters (scratch-pool
+// reuse under worker pools) are not — and the deterministic-simulation tests
+// compare only the stable subset (ToJson(Snapshot::kStableOnly)).
+//
+// Schema (validated by `kk-metrics --check`, see docs/OBSERVABILITY.md):
+//   {
+//     "schema_version": 1,
+//     "kind": "kk-metrics-snapshot",
+//     "metrics": [
+//       {"name": "...", "labels": {"k": "v", ...}, "stable": true,
+//        "value": <number>},
+//       ...   // sorted by (name, labels)
+//     ]
+//   }
+#ifndef SRC_OBS_METRICS_REGISTRY_H_
+#define SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace knightking {
+namespace obs {
+
+// Label set for one metric; keys are sorted on insertion into the registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+struct Metric {
+  std::string name;
+  Labels labels;  // sorted by key
+  uint64_t ivalue = 0;
+  double dvalue = 0.0;
+  bool integral = true;  // serialize ivalue (exact) instead of dvalue
+  bool stable = true;    // deterministic across identical seeded runs
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kKind = "kk-metrics-snapshot";
+
+  // Adds `value` to the counter at (name, labels), creating it at zero.
+  // Counters are integral; `stable` must be consistent across calls.
+  void AddCounter(const std::string& name, Labels labels, uint64_t value, bool stable = true);
+
+  // Sets the gauge at (name, labels), overwriting any prior value.
+  void SetGauge(const std::string& name, Labels labels, double value, bool stable = false);
+
+  void Clear() { metrics_.clear(); }
+  size_t size() const { return metrics_.size(); }
+
+  // Metrics in canonical (name, labels) order.
+  std::vector<const Metric*> Sorted() const;
+
+  enum class Snapshot { kAll, kStableOnly };
+
+  // Canonical serialization (schema above). kStableOnly drops metrics whose
+  // value may differ between identical seeded runs.
+  std::string ToJson(Snapshot mode = Snapshot::kAll) const;
+
+ private:
+  // Keyed by name + '\x1f' + "k=v" pairs: map order IS canonical order.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace obs
+}  // namespace knightking
+
+#endif  // SRC_OBS_METRICS_REGISTRY_H_

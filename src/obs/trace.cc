@@ -1,0 +1,59 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace knightking {
+namespace obs {
+
+std::vector<TraceRecorder::Event> TraceRecorder::TakeEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sort a copy by (ts, pid) so the export is stable for a given recording
+  // (concurrent Record calls append in scheduling order).
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const Event& e : events_) {
+    sorted.push_back(&e);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Event* a, const Event* b) {
+    return a->ts != b->ts ? a->ts < b->ts : a->pid < b->pid;
+  });
+
+  std::string out;
+  out += "{\"traceEvents\": [\n";
+  bool first = true;
+  char buf[256];
+  for (const auto& [pid, name] : process_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %u, \"tid\": 0, "
+                  "\"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ",\n", pid, name.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const Event* e : sorted) {
+    // Trace Event Format timestamps are microseconds.
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"name\": \"%s\", \"cat\": \"phase\", \"ph\": \"X\", \"pid\": %u, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"iteration\": %" PRIu64
+                  "}}",
+                  first ? "" : ",\n", e->name, e->pid, e->tid, e->ts * 1e6, e->dur * 1e6,
+                  e->iteration);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace knightking

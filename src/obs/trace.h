@@ -1,0 +1,89 @@
+// Phase/iteration trace recording, exportable to chrome://tracing JSON.
+//
+// A TraceRecorder collects complete-span events ("X" phase in the Trace
+// Event Format): the engine records one span per BSP phase per iteration at
+// the driver level, plus one span per logical node inside each phase, so a
+// run opens in chrome://tracing (or https://ui.perfetto.dev) as a lane per
+// simulated node with the sample/respond/resolve/exchange cadence visible.
+//
+// Recording is a pure runtime toggle (WalkEngineOptions::trace): a null
+// recorder costs nothing, and the engine only reads the clock when one is
+// attached. Event timestamps are wall-clock and therefore never part of the
+// deterministic snapshot contract — traces are a diagnostic artifact, not a
+// comparison artifact. Thread safety: Record may be called concurrently
+// (node drivers run in parallel); export is driver-only.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace knightking {
+namespace obs {
+
+class TraceRecorder {
+ public:
+  // One complete-span event. `name` must be a string literal (or otherwise
+  // outlive the recorder); spans are recorded once per node per phase per
+  // iteration, so storage stays proportional to iterations.
+  struct Event {
+    const char* name = "";
+    uint32_t pid = 0;  // lane: 0 = driver, n+1 = logical node n
+    uint32_t tid = 0;
+    double ts = 0.0;        // seconds since Reset()
+    double dur = 0.0;       // span length in seconds
+    uint64_t iteration = 0;  // engine superstep (shown under args)
+  };
+
+  TraceRecorder() { Reset(); }
+
+  // Clears recorded events and re-zeros the trace clock.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    process_names_.clear();
+    epoch_.Restart();
+  }
+
+  // Seconds since Reset(); the timestamp base for RecordSpan.
+  double Now() const { return epoch_.Seconds(); }
+
+  void RecordSpan(const char* name, uint32_t pid, uint32_t tid, double ts, double dur,
+                  uint64_t iteration) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{name, pid, tid, ts, dur, iteration});
+  }
+
+  // Names a lane in the exported trace (e.g. "node 2").
+  void SetProcessName(uint32_t pid, std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_names_[pid] = std::move(name);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  std::vector<Event> TakeEvents();
+
+  // Serializes everything recorded since Reset() as a Trace Event Format
+  // JSON object ({"traceEvents": [...]}) loadable by chrome://tracing.
+  std::string ToChromeJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<uint32_t, std::string> process_names_;
+  Timer epoch_;
+};
+
+}  // namespace obs
+}  // namespace knightking
+
+#endif  // SRC_OBS_TRACE_H_

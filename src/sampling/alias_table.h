@@ -99,6 +99,14 @@ class FlatAliasTables {
 
   bool empty() const { return prob_.empty(); }
 
+  // Table footprint in bytes (metrics snapshot; a pure function of the
+  // graph, so it is a stable metric).
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(edge_index_t) + prob_.size() * sizeof(real_t) +
+           alias_.size() * sizeof(uint32_t) + totals_.size() * sizeof(double) +
+           max_weight_.size() * sizeof(real_t);
+  }
+
   // Hints v's alias row into cache (engine locality pass).
   void Prefetch(vertex_id_t v) const {
     edge_index_t begin = offsets_[v];

@@ -113,6 +113,12 @@ class FlatItsTables {
   real_t MaxWeight(vertex_id_t v) const { return max_weight_[v]; }
   bool empty() const { return cdf_.empty() && totals_.empty(); }
 
+  // Table footprint in bytes (metrics snapshot; stable for a given graph).
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(edge_index_t) + cdf_.size() * sizeof(double) +
+           totals_.size() * sizeof(double) + max_weight_.size() * sizeof(real_t);
+  }
+
   // Hints v's CDF row into cache (engine locality pass).
   void Prefetch(vertex_id_t v) const {
     KK_PREFETCH(cdf_.data() + offsets_[v]);

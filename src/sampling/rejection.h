@@ -67,6 +67,7 @@ class RejectionRow {
       if (options_.lower_bound > 0.0f && y < options_.lower_bound) {
         if (stats != nullptr) {
           stats->pre_accepts += 1;
+          stats->trial_accepts += 1;
         }
         return candidate;
       }
@@ -74,7 +75,13 @@ class RejectionRow {
         stats->pd_computations += 1;
       }
       if (y < pd(candidate)) {
+        if (stats != nullptr) {
+          stats->trial_accepts += 1;
+        }
         return candidate;
+      }
+      if (stats != nullptr) {
+        stats->trial_rejects += 1;
       }
     }
     // Exact fallback: one full scan (keeps pathological rows exact).

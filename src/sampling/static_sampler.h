@@ -125,6 +125,22 @@ class StaticSamplerSet {
     }
   }
 
+  // Table footprint in bytes across all vertices (uniform draws keep no
+  // tables). Exported in the engine's metrics snapshot.
+  size_t MemoryBytes() const {
+    switch (kind_) {
+      case StaticSamplerKind::kUniform:
+        return 0;
+      case StaticSamplerKind::kAlias:
+        return alias_.MemoryBytes();
+      case StaticSamplerKind::kIts:
+        return its_.MemoryBytes();
+      case StaticSamplerKind::kAuto:
+        break;
+    }
+    return 0;
+  }
+
   // Max single Ps at v (outlier appendix width bound).
   real_t MaxWeight(vertex_id_t v) const {
     switch (kind_) {

@@ -14,6 +14,8 @@ namespace knightking {
 struct SamplingStats {
   uint64_t steps = 0;            // successful walker moves
   uint64_t trials = 0;           // rejection-sampling candidate draws
+  uint64_t trial_accepts = 0;    // trials whose dart was accepted
+  uint64_t trial_rejects = 0;    // trials whose dart was rejected
   uint64_t pd_computations = 0;  // dynamic component (Pd) evaluations
   uint64_t scan_computations = 0;  // per-edge probability computations in full scans
   uint64_t pre_accepts = 0;      // trials accepted below the lower bound L(v)
@@ -32,6 +34,8 @@ struct SamplingStats {
   void Merge(const SamplingStats& other) {
     steps += other.steps;
     trials += other.trials;
+    trial_accepts += other.trial_accepts;
+    trial_rejects += other.trial_rejects;
     pd_computations += other.pd_computations;
     scan_computations += other.scan_computations;
     pre_accepts += other.pre_accepts;
@@ -58,6 +62,39 @@ struct SamplingStats {
 
   double TrialsPerStep() const {
     return steps == 0 ? 0.0 : static_cast<double>(trials) / static_cast<double>(steps);
+  }
+
+  // Fraction of resolved trials whose dart was accepted. Trials still parked
+  // awaiting a query response mid-run are neither; after a completed Run
+  // every trial has resolved one way or the other.
+  double AcceptanceRate() const {
+    uint64_t resolved = trial_accepts + trial_rejects;
+    return resolved == 0 ? 0.0
+                         : static_cast<double>(trial_accepts) / static_cast<double>(resolved);
+  }
+
+  // Visits every counter as (name, value); the single source of truth for
+  // metric export and counter-merge tests (keep in sync with the fields
+  // above — a new counter that is not visited here will not be exported).
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+    fn("steps", steps);
+    fn("trials", trials);
+    fn("trial_accepts", trial_accepts);
+    fn("trial_rejects", trial_rejects);
+    fn("pd_computations", pd_computations);
+    fn("scan_computations", scan_computations);
+    fn("pre_accepts", pre_accepts);
+    fn("outlier_hits", outlier_hits);
+    fn("queries_remote", queries_remote);
+    fn("queries_local", queries_local);
+    fn("walker_moves_remote", walker_moves_remote);
+    fn("fallback_scans", fallback_scans);
+    fn("iterations", iterations);
+    fn("walker_retransmits", walker_retransmits);
+    fn("query_retries", query_retries);
+    fn("duplicates_suppressed", duplicates_suppressed);
+    fn("stale_responses", stale_responses);
   }
 };
 

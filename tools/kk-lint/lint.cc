@@ -19,7 +19,7 @@ const std::vector<RuleInfo> kRules = {
      "seed engine RNGs with Rng::SeedStream(master, stream) counter blocks, "
      "not raw integer literals"},
     {"KK003", "unordered-iteration", "nondeterministic-order-ok",
-     "src/engine/, src/apps/, src/testing/",
+     "src/engine/, src/apps/, src/testing/, src/obs/",
      "iterate a sorted copy, use an ordered container, or waive with a "
      "justification if downstream order is canonicalized"},
     {"KK004", "sampling-narrowing", "narrow-ok", "src/sampling/",
@@ -185,8 +185,10 @@ std::string TailIdentifierBefore(const std::string& s, size_t pos) {
 void CheckUnorderedIteration(const std::string& path, const std::vector<std::string>& raw,
                              const std::vector<std::string>& code,
                              std::vector<Finding>* findings) {
+  // src/obs/ is in scope: snapshot export promises canonical ordering, so an
+  // unordered-container walk there is exactly the bug the rule exists for.
   if (!StartsWith(path, "src/engine/") && !StartsWith(path, "src/apps/") &&
-      !StartsWith(path, "src/testing/")) {
+      !StartsWith(path, "src/testing/") && !StartsWith(path, "src/obs/")) {
     return;
   }
   // Pass 1: every identifier declared (or returned) with an unordered

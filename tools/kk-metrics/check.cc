@@ -1,0 +1,257 @@
+#include "tools/kk-metrics/check.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace knightking {
+namespace metrics {
+namespace {
+
+using obs::JsonValue;
+
+// Appends one failed-check message; only the first is reported.
+void Fail(CheckResult* r, const std::string& msg) {
+  if (r->error.empty()) {
+    r->error = msg;
+  }
+  r->ok = false;
+}
+
+bool RequireNumber(const JsonValue& obj, const char* key, CheckResult* r,
+                   const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) {
+    Fail(r, where + ": missing numeric field \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+bool RequireBool(const JsonValue& obj, const char* key, CheckResult* r,
+                 const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsBool()) {
+    Fail(r, where + ": missing boolean field \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+bool RequireString(const JsonValue& obj, const char* key, CheckResult* r,
+                   const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsString()) {
+    Fail(r, where + ": missing string field \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+// Canonical sort key mirroring MetricsRegistry: name, then "k=v" label pairs
+// joined by a separator that sorts below any printable character.
+std::string MetricSortKey(const JsonValue& metric) {
+  std::string key = metric.Find("name")->AsString();
+  for (const auto& [k, v] : metric.Find("labels")->AsObject()) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v.AsString();
+  }
+  return key;
+}
+
+void CheckSnapshot(const JsonValue& doc, CheckResult* r) {
+  r->kind = "kk-metrics-snapshot";
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->IsArray()) {
+    Fail(r, "snapshot: missing \"metrics\" array");
+    return;
+  }
+  std::string prev_key;
+  for (size_t i = 0; i < metrics->AsArray().size(); ++i) {
+    const JsonValue& m = metrics->AsArray()[i];
+    std::string where = "metrics[" + std::to_string(i) + "]";
+    if (!m.IsObject()) {
+      Fail(r, where + ": not an object");
+      return;
+    }
+    if (!RequireString(m, "name", r, where) || !RequireBool(m, "stable", r, where) ||
+        !RequireNumber(m, "value", r, where)) {
+      return;
+    }
+    if (m.Find("name")->AsString().empty()) {
+      Fail(r, where + ": empty metric name");
+      return;
+    }
+    const JsonValue* labels = m.Find("labels");
+    if (labels == nullptr || !labels->IsObject()) {
+      Fail(r, where + ": missing \"labels\" object");
+      return;
+    }
+    for (const auto& [k, v] : labels->AsObject()) {
+      if (k.empty() || !v.IsString()) {
+        Fail(r, where + ": labels must map non-empty keys to strings");
+        return;
+      }
+    }
+    std::string key = MetricSortKey(m);
+    if (i > 0 && !(prev_key < key)) {
+      Fail(r, where + ": metrics not in canonical (name, labels) order");
+      return;
+    }
+    prev_key = std::move(key);
+  }
+}
+
+void CheckHotpath(const JsonValue& doc, CheckResult* r) {
+  r->kind = "hotpath";
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->IsObject()) {
+    Fail(r, "hotpath: missing \"config\" object");
+    return;
+  }
+  if (!RequireBool(*config, "small", r, "config") ||
+      !RequireBool(*config, "sort_batches", r, "config") ||
+      !RequireNumber(*config, "num_nodes", r, "config") ||
+      !RequireNumber(*config, "workers_per_node", r, "config") ||
+      !RequireNumber(*config, "graph_vertices", r, "config") ||
+      !RequireNumber(*config, "graph_edges", r, "config")) {
+    return;
+  }
+  const JsonValue* workloads = doc.Find("workloads");
+  if (workloads == nullptr || !workloads->IsArray() || workloads->AsArray().empty()) {
+    Fail(r, "hotpath: missing non-empty \"workloads\" array");
+    return;
+  }
+  for (size_t i = 0; i < workloads->AsArray().size(); ++i) {
+    const JsonValue& w = workloads->AsArray()[i];
+    std::string where = "workloads[" + std::to_string(i) + "]";
+    if (!w.IsObject()) {
+      Fail(r, where + ": not an object");
+      return;
+    }
+    if (!RequireString(w, "name", r, where)) {
+      return;
+    }
+    for (const char* key : {"walkers", "seconds", "walks_per_sec", "steps_per_sec", "steps",
+                            "iterations", "edges_per_step", "cross_node_messages",
+                            "cross_node_bytes"}) {
+      if (!RequireNumber(w, key, r, where)) {
+        return;
+      }
+    }
+    const JsonValue* phases = w.Find("phase_seconds");
+    if (phases == nullptr || !phases->IsObject()) {
+      Fail(r, where + ": missing \"phase_seconds\" object");
+      return;
+    }
+    for (const char* key : {"sample", "respond", "resolve", "exchange"}) {
+      if (!RequireNumber(*phases, key, r, where + ".phase_seconds")) {
+        return;
+      }
+    }
+    if (w.Find("seconds")->AsNumber() < 0 || w.Find("walks_per_sec")->AsNumber() < 0) {
+      Fail(r, where + ": negative timing");
+      return;
+    }
+  }
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+CheckResult CheckDocument(const JsonValue& doc) {
+  CheckResult r;
+  r.ok = true;
+  if (!doc.IsObject()) {
+    Fail(&r, "document root is not an object");
+    return r;
+  }
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->IsNumber() || version->AsNumber() != 1) {
+    Fail(&r, "missing or unsupported \"schema_version\" (expected 1)");
+    return r;
+  }
+  const JsonValue* kind = doc.Find("kind");
+  const JsonValue* bench = doc.Find("bench");
+  if (kind != nullptr && kind->IsString() && kind->AsString() == "kk-metrics-snapshot") {
+    CheckSnapshot(doc, &r);
+  } else if (bench != nullptr && bench->IsString() && bench->AsString() == "hotpath") {
+    CheckHotpath(doc, &r);
+  } else {
+    Fail(&r, "unrecognized document: expected kind \"kk-metrics-snapshot\" or bench "
+             "\"hotpath\"");
+  }
+  return r;
+}
+
+CheckResult CheckJsonText(std::string_view text) {
+  JsonValue doc;
+  std::string error;
+  if (!JsonValue::Parse(text, &doc, &error)) {
+    CheckResult r;
+    r.error = "parse error: " + error;
+    return r;
+  }
+  return CheckDocument(doc);
+}
+
+std::string Summarize(const JsonValue& doc) {
+  CheckResult r = CheckDocument(doc);
+  if (!r.ok) {
+    return "error: " + r.error + "\n";
+  }
+  std::string out;
+  if (r.kind == "kk-metrics-snapshot") {
+    const auto& metrics = doc.Find("metrics")->AsArray();
+    size_t stable = 0;
+    for (const JsonValue& m : metrics) {
+      if (m.Find("stable")->AsBool()) {
+        ++stable;
+      }
+    }
+    out += "kk-metrics-snapshot: " + std::to_string(metrics.size()) + " metrics (" +
+           std::to_string(stable) + " stable)\n";
+    for (const JsonValue& m : metrics) {
+      out += "  " + m.Find("name")->AsString();
+      const auto& labels = m.Find("labels")->AsObject();
+      if (!labels.empty()) {
+        out += "{";
+        for (size_t i = 0; i < labels.size(); ++i) {
+          out += (i == 0 ? "" : ",") + labels[i].first + "=" + labels[i].second.AsString();
+        }
+        out += "}";
+      }
+      out += " = " + FormatNumber(m.Find("value")->AsNumber());
+      if (!m.Find("stable")->AsBool()) {
+        out += "  (unstable)";
+      }
+      out += "\n";
+    }
+  } else {
+    const auto& workloads = doc.Find("workloads")->AsArray();
+    out += "hotpath bench: " + std::to_string(workloads.size()) + " workloads\n";
+    for (const JsonValue& w : workloads) {
+      out += "  " + w.Find("name")->AsString() + ": " +
+             FormatNumber(w.Find("steps_per_sec")->AsNumber()) + " steps/s, " +
+             FormatNumber(w.Find("walks_per_sec")->AsNumber()) + " walks/s over " +
+             FormatNumber(w.Find("seconds")->AsNumber()) + "s (" +
+             FormatNumber(w.Find("iterations")->AsNumber()) + " iterations)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace knightking
