@@ -20,6 +20,10 @@
 //   --metrics-out FILE  write a kk-metrics snapshot (engine ExportMetrics,
 //                       one label set per workload) alongside the bench JSON
 //   --trace FILE   record per-phase spans and write chrome://tracing JSON
+//   --checkpoint-every N   snapshot engine state every N supersteps so the
+//                          checkpointing overhead shows up in the bench JSON
+//                          (0 = disabled, the perf-floor configuration)
+//   --checkpoint-path FILE snapshot destination (default <out>.ckpt)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,6 +45,8 @@ struct HotpathConfig {
   std::string floor_path;
   std::string metrics_path;
   std::string trace_path;
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct WorkloadResult {
@@ -53,6 +59,7 @@ struct WorkloadResult {
   EnginePhaseTimes phases;
   uint64_t cross_node_messages = 0;
   uint64_t cross_node_bytes = 0;
+  CheckpointStats ckpt;
 };
 
 WalkEngineOptions HotpathOptions(const HotpathConfig& config) {
@@ -63,6 +70,10 @@ WalkEngineOptions HotpathOptions(const HotpathConfig& config) {
   opts.seed = kRunSeed;
   if (!config.sort_batches) {
     opts.sort_batches = BatchSortMode::kNever;
+  }
+  if (config.checkpoint_every > 0) {
+    opts.checkpoint_every = config.checkpoint_every;
+    opts.checkpoint_path = config.checkpoint_path;
   }
   return opts;
 }
@@ -86,6 +97,7 @@ WorkloadResult RunWorkload(const std::string& name, const EdgeList<EmptyEdgeData
   result.phases = engine.phase_times();
   result.cross_node_messages = engine.cross_node_messages();
   result.cross_node_bytes = engine.cross_node_bytes();
+  result.ckpt = engine.checkpoint_stats();
   if (metrics != nullptr) {
     engine.ExportMetrics(*metrics, {{"workload", name}});
   }
@@ -119,6 +131,8 @@ void WriteJson(const HotpathConfig& config, const std::vector<WorkloadResult>& r
   std::fprintf(f, "    \"sort_batches\": %s,\n", config.sort_batches ? "true" : "false");
   std::fprintf(f, "    \"num_nodes\": 4,\n");
   std::fprintf(f, "    \"workers_per_node\": %zu,\n", config.workers_per_node);
+  std::fprintf(f, "    \"checkpoint_every\": %llu,\n",
+               static_cast<unsigned long long>(config.checkpoint_every));
   std::fprintf(f, "    \"graph_vertices\": %llu,\n",
                static_cast<unsigned long long>(num_vertices));
   std::fprintf(f, "    \"graph_edges\": %llu\n", static_cast<unsigned long long>(num_edges));
@@ -144,8 +158,14 @@ void WriteJson(const HotpathConfig& config, const std::vector<WorkloadResult>& r
     std::fprintf(f, "      },\n");
     std::fprintf(f, "      \"cross_node_messages\": %llu,\n",
                  static_cast<unsigned long long>(r.cross_node_messages));
-    std::fprintf(f, "      \"cross_node_bytes\": %llu\n",
+    std::fprintf(f, "      \"cross_node_bytes\": %llu,\n",
                  static_cast<unsigned long long>(r.cross_node_bytes));
+    std::fprintf(f, "      \"checkpoints\": %llu,\n",
+                 static_cast<unsigned long long>(r.ckpt.checkpoints));
+    std::fprintf(f, "      \"checkpoint_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.ckpt.checkpoint_bytes));
+    std::fprintf(f, "      \"checkpoint_micros\": %llu\n",
+                 static_cast<unsigned long long>(r.ckpt.checkpoint_micros));
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -215,12 +235,20 @@ int Main(int argc, char** argv) {
       config.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       config.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+      config.checkpoint_every = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--checkpoint-path") == 0 && i + 1 < argc) {
+      config.checkpoint_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--small] [--out FILE] [--floor FILE] "
-                   "[--workers N] [--no-sort] [--metrics-out FILE] [--trace FILE]\n");
+                   "[--workers N] [--no-sort] [--metrics-out FILE] [--trace FILE] "
+                   "[--checkpoint-every N] [--checkpoint-path FILE]\n");
       return 2;
     }
+  }
+  if (config.checkpoint_every > 0 && config.checkpoint_path.empty()) {
+    config.checkpoint_path = config.out_path + ".ckpt";
   }
 
   const vertex_id_t num_vertices = config.small ? 8000 : 60000;

@@ -1,0 +1,181 @@
+// Epoch-based checkpoint/restore for the walk engine, plus the hardened
+// binary-file helpers shared with path_io.
+//
+// The engine's recovery story (docs/TESTING.md) is coordinated rollback:
+// at a configurable superstep interval the driver serializes every logical
+// node's live walker state into one versioned, magic-tagged snapshot; when a
+// simulated node crash fires (FaultInjector::CrashNode) all nodes reload the
+// last snapshot and re-enter the superstep loop. Because each walker carries
+// its own counter-block RNG stream, deterministic re-execution reproduces
+// the uninterrupted run's paths byte for byte.
+//
+// Every read helper here validates declared counts and lengths against the
+// remaining file size *before* allocating, so corrupt or truncated files
+// fail with a clean `false` rather than a multi-GB allocation. Writers check
+// every write result (a full disk must not report success) and snapshots
+// commit atomically via tmp-file + rename, so a crash mid-checkpoint never
+// clobbers the previous good snapshot.
+#ifndef SRC_ENGINE_CHECKPOINT_H_
+#define SRC_ENGINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace knightking {
+
+// "KKCKPT" — same tagging idiom as kPathsMagic in path_io.cc.
+inline constexpr uint64_t kCheckpointMagic = 0x4b4b434b5054ULL;
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// Fixed-size snapshot prologue. The per-record byte sizes pin the template
+// instantiation that wrote the file: a snapshot taken by an engine with a
+// different walker-state or query-response type fails validation instead of
+// deserializing garbage, and generic tools (kk-ckpt) can traverse the
+// variable-length sections without knowing the types.
+struct CheckpointHeader {
+  uint64_t magic = kCheckpointMagic;
+  uint32_t version = kCheckpointVersion;
+  uint32_t num_nodes = 0;
+  uint64_t seed = 0;
+  uint64_t superstep = 0;
+  uint64_t num_walkers = 0;
+  uint32_t walker_bytes = 0;     // sizeof(Walker<StateT>)
+  uint32_t pending_bytes = 0;    // sizeof(PendingTrial)
+  uint32_t inflight_bytes = 0;   // sizeof(InFlightMove)
+  uint32_t pathentry_bytes = 0;  // sizeof(PathEntry)
+};
+
+// Buffered binary writer that never loses a failed write: every fwrite
+// result folds into ok(), and all bytes stream through an incremental
+// FNV-1a 64 checksum so snapshots end with a self-check trailer.
+class BinaryFileWriter {
+ public:
+  explicit BinaryFileWriter(const std::string& path);
+  ~BinaryFileWriter();
+  BinaryFileWriter(const BinaryFileWriter&) = delete;
+  BinaryFileWriter& operator=(const BinaryFileWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  // FNV-1a 64 over every byte written so far.
+  uint64_t checksum() const { return fnv_; }
+
+  void WriteBytes(const void* data, size_t n);
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  // u64 element count followed by the raw element bytes.
+  template <typename T>
+  void WriteVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write(static_cast<uint64_t>(v.size()));
+    if (!v.empty()) {
+      WriteBytes(v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  // Flushes and closes; false if any write (or the close itself) failed.
+  bool Close();
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool ok_ = false;
+  uint64_t bytes_written_ = 0;
+  uint64_t fnv_;
+};
+
+// Size-aware binary reader: knows the file length up front, so declared
+// counts are validated against the bytes actually remaining before any
+// allocation happens. Consumed bytes stream through the same FNV-1a 64
+// checksum the writer maintains.
+class BinaryFileReader {
+ public:
+  explicit BinaryFileReader(const std::string& path);
+  ~BinaryFileReader();
+  BinaryFileReader(const BinaryFileReader&) = delete;
+  BinaryFileReader& operator=(const BinaryFileReader&) = delete;
+
+  bool ok() const { return ok_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+  uint64_t remaining() const { return file_bytes_ - consumed_; }
+  // FNV-1a 64 over every byte consumed so far.
+  uint64_t checksum() const { return fnv_; }
+
+  // True iff `count` elements of `elem_bytes` each still fit in the file
+  // (overflow-safe: compares against remaining()/elem_bytes).
+  bool CanConsume(uint64_t count, size_t elem_bytes) const;
+
+  bool ReadBytes(void* data, size_t n);
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  // Counterpart of WriteVec. The declared count is validated against the
+  // remaining file size before the vector is sized, so a corrupt count
+  // cannot trigger an allocation larger than the file itself.
+  template <typename T>
+  bool ReadVec(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Read(&count) || !CanConsume(count, sizeof(T))) {
+      return false;
+    }
+    out->resize(count);
+    return count == 0 || ReadBytes(out->data(), count * sizeof(T));
+  }
+
+  // Consumes `n` bytes without storing them (still checksummed); used by the
+  // generic snapshot traversal to stream over typed payloads in bounded
+  // chunks instead of allocating them.
+  bool SkipBytes(uint64_t n);
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool ok_ = false;
+  uint64_t file_bytes_ = 0;
+  uint64_t consumed_ = 0;
+  uint64_t fnv_;
+};
+
+void WriteCheckpointHeader(BinaryFileWriter& w, const CheckpointHeader& h);
+
+// False on short read, bad magic, or unsupported version.
+bool ReadCheckpointHeader(BinaryFileReader& r, CheckpointHeader* h);
+
+// Atomically replaces `final_path` with `tmp_path` (rename; removes the tmp
+// file on failure so aborted checkpoints leave no debris).
+bool CommitFile(const std::string& tmp_path, const std::string& final_path);
+
+// Type-agnostic summary of a snapshot file (kk-ckpt, tests). Record counts
+// are summed across the per-node sections using the byte sizes the header
+// declares; no engine template types are needed.
+struct CheckpointInfo {
+  CheckpointHeader header;
+  uint64_t file_bytes = 0;
+  uint64_t progress_entries = 0;  // walker_progress records (0 unreliable)
+  uint64_t history_entries = 0;   // active_history records
+  uint64_t active_walkers = 0;
+  uint64_t pending_trials = 0;
+  uint64_t in_flight_moves = 0;
+  uint64_t path_entries = 0;
+};
+
+// Walks the whole file — header, every section, checksum trailer — in
+// bounded-size chunks and fills `info`. False (with `error` set) on any
+// structural violation: truncation, oversized declared counts, checksum
+// mismatch, or trailing garbage.
+bool InspectCheckpoint(const std::string& path, CheckpointInfo* info, std::string* error);
+
+}  // namespace knightking
+
+#endif  // SRC_ENGINE_CHECKPOINT_H_

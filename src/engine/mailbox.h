@@ -141,6 +141,25 @@ class Mailbox {
     }
   }
 
+  // Discards every undelivered message — posted-but-unexchanged outgoing
+  // batches, the last Exchange's inboxes, and fault-delayed stragglers —
+  // modelling the loss of all in-transit traffic at a node crash. Counters
+  // and the fault epoch survive: recovery rolls the *engine* back, not the
+  // simulated network's history, so replayed supersteps may draw a different
+  // fault schedule (the reliability protocol makes walk output invariant to
+  // that). Driver-only, like Exchange().
+  void Wipe() {
+    for (auto& buf : outgoing_) {
+      buf.clear();
+    }
+    for (auto& inbox : incoming_) {
+      inbox.clear();
+    }
+    for (auto& d : delayed_) {
+      d.clear();
+    }
+  }
+
   // Undelivered delayed messages (only ever non-zero mid-run with faults).
   size_t pending_delayed() const {
     size_t total = 0;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "src/engine/checkpoint.h"
+
 namespace knightking {
 
 namespace {
@@ -15,61 +17,69 @@ bool WritePathsText(std::span<const std::vector<vertex_id_t>> paths, const std::
   if (f == nullptr) {
     return false;
   }
+  // fprintf/fputc results matter: on a full disk the stdio buffer flush can
+  // fail long before fclose, and a truncated corpus must not report success.
+  bool ok = true;
   for (const auto& walk : paths) {
-    for (size_t i = 0; i < walk.size(); ++i) {
-      std::fprintf(f, i == 0 ? "%u" : " %u", walk[i]);
+    for (size_t i = 0; ok && i < walk.size(); ++i) {
+      ok = std::fprintf(f, i == 0 ? "%u" : " %u", walk[i]) > 0;
     }
-    std::fputc('\n', f);
-  }
-  return std::fclose(f) == 0;
-}
-
-bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
-                      const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return false;
-  }
-  uint64_t header[2] = {kPathsMagic, paths.size()};
-  bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
-  for (const auto& walk : paths) {
+    ok = ok && std::fputc('\n', f) != EOF;
     if (!ok) {
       break;
-    }
-    uint64_t len = walk.size();
-    ok = std::fwrite(&len, sizeof(len), 1, f) == 1;
-    if (ok && len > 0) {
-      ok = std::fwrite(walk.data(), sizeof(vertex_id_t), walk.size(), f) == walk.size();
     }
   }
   return (std::fclose(f) == 0) && ok;
 }
 
-bool ReadPathsBinary(const std::string& path, std::vector<std::vector<vertex_id_t>>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
+                      const std::string& path) {
+  BinaryFileWriter w(path);
+  if (!w.ok()) {
     return false;
   }
-  uint64_t header[2] = {};
-  bool ok = std::fread(header, sizeof(header), 1, f) == 1 && header[0] == kPathsMagic;
-  if (ok) {
-    out->clear();
-    out->reserve(header[1]);
-    for (uint64_t i = 0; ok && i < header[1]; ++i) {
-      uint64_t len = 0;
-      ok = std::fread(&len, sizeof(len), 1, f) == 1;
-      if (!ok) {
-        break;
-      }
-      std::vector<vertex_id_t> walk(len);
-      if (len > 0) {
-        ok = std::fread(walk.data(), sizeof(vertex_id_t), len, f) == len;
-      }
-      out->push_back(std::move(walk));
-    }
+  w.Write(kPathsMagic);
+  w.Write(static_cast<uint64_t>(paths.size()));
+  for (const auto& walk : paths) {
+    w.WriteVec(walk);
   }
-  std::fclose(f);
-  return ok;
+  return w.Close();
+}
+
+bool ReadPathsBinary(const std::string& path, std::vector<std::vector<vertex_id_t>>* out) {
+  out->clear();  // on failure the corpus is empty, never stale or partial
+  BinaryFileReader reader(path);
+  if (!reader.ok()) {
+    return false;
+  }
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!reader.Read(&magic) || magic != kPathsMagic || !reader.Read(&count)) {
+    return false;
+  }
+  // Each walk costs at least its u64 length prefix, so a well-formed file
+  // has >= 8 bytes remaining per declared walk — validating that before the
+  // reserve caps the allocation at file size, not at whatever a corrupt
+  // header claims.
+  if (!reader.CanConsume(count, sizeof(uint64_t))) {
+    return false;
+  }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<vertex_id_t> walk;
+    // ReadVec validates the declared length against the remaining file size
+    // before sizing the vector.
+    if (!reader.ReadVec(&walk)) {
+      out->clear();
+      return false;
+    }
+    out->push_back(std::move(walk));
+  }
+  if (reader.remaining() != 0) {
+    out->clear();
+    return false;  // trailing garbage after the last declared walk
+  }
+  return true;
 }
 
 CorpusStats ComputeCorpusStats(std::span<const std::vector<vertex_id_t>> paths) {

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/engine/checkpoint.h"
 #include "src/engine/mailbox.h"
 #include "src/obs/counters.h"
 #include "src/obs/metrics_registry.h"
@@ -137,6 +138,15 @@ struct WalkEngineOptions {
   // chrome://tracing JSON. Null costs nothing — the engine never reads the
   // clock for tracing unless a recorder is attached.
   obs::TraceRecorder* trace = nullptr;
+  // Epoch-based checkpointing: every `checkpoint_every` supersteps (counting
+  // from 0, so an initial snapshot is always taken before the first
+  // iteration) the driver serializes all live walker state to
+  // `checkpoint_path` (atomically, via tmp + rename). 0 disables
+  // checkpointing entirely — the engine never touches the filesystem.
+  // Required (> 0, non-empty path) when the attached FaultInjector schedules
+  // node crashes; see src/engine/checkpoint.h and docs/TESTING.md.
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -161,6 +171,16 @@ struct EnginePhaseTimes {
 // Iterations without any walker progress before the engine declares the walk
 // wedged (see Run()).
 inline constexpr uint64_t kMaxStalledIterations = 100000;
+
+// Checkpoint/recovery counters of the last Run. `checkpoint_micros` is
+// wall-clock and therefore not comparable across runs; the other three are
+// deterministic for a given configuration.
+struct CheckpointStats {
+  uint64_t checkpoints = 0;       // snapshots committed
+  uint64_t checkpoint_bytes = 0;  // total bytes across committed snapshots
+  uint64_t checkpoint_micros = 0; // wall-clock spent serializing
+  uint64_t recoveries = 0;        // crash recoveries performed
+};
 
 template <typename EdgeData, typename WalkerState = EmptyWalkerState,
           typename QueryResponse = uint8_t>
@@ -212,7 +232,15 @@ class WalkEngine {
     dynamic_ = transition.IsDynamic();
 
     phase_times_ = EnginePhaseTimes{};
+    ckpt_stats_ = CheckpointStats{};
     reliable_ = options_.fault_injector != nullptr;
+    const bool checkpointing = options_.checkpoint_every > 0;
+    KK_CHECK_MSG(!checkpointing || !options_.checkpoint_path.empty(),
+                 "checkpoint_every > 0 requires a checkpoint_path");
+    KK_CHECK_MSG(checkpointing || !reliable_ ||
+                     options_.fault_injector->pending_crashes() == 0,
+                 "scheduled node crashes require checkpointing "
+                 "(set WalkEngineOptions::checkpoint_every)");
     include_local_faults_ =
         reliable_ && options_.fault_injector->policy().include_local;
     obs::TraceRecorder* const trace = options_.trace;
@@ -255,6 +283,10 @@ class WalkEngine {
         return HashCombine64(a.walker, a.step);
       });
       walker_progress_.assign(num_walkers_, 0);
+    } else {
+      // Stale progress from an earlier reliable Run must not leak into this
+      // run's snapshots (LoadCheckpoint validates the section size).
+      walker_progress_.clear();
     }
 
     uint64_t iterations = 0;
@@ -281,6 +313,22 @@ class WalkEngine {
       } else {
         stalled_iterations = 0;
         last_progress_steps = steps_total;
+      }
+      // Snapshot before probing for crashes: the initial save at superstep 0
+      // guarantees every crash finds a checkpoint at or before its epoch.
+      // Re-saving after a recovery lands back on a checkpoint boundary just
+      // rewrites an identical snapshot (the restored state is the state that
+      // was saved).
+      if (checkpointing && superstep_ % options_.checkpoint_every == 0) {
+        SaveCheckpoint();
+      }
+      if (reliable_) {
+        std::optional<node_rank_t> crashed =
+            options_.fault_injector->TakeCrash(superstep_);
+        if (crashed.has_value()) {
+          RecoverFromCrash(*crashed);
+          continue;  // re-enter the loop at the restored superstep
+        }
       }
       active_history_.push_back(active_total);
       ++iterations;
@@ -319,6 +367,101 @@ class WalkEngine {
   }
 
   const SamplingStats& last_stats() const { return last_stats_; }
+
+  // Checkpoint/recovery counters of the last Run (all zero when
+  // options.checkpoint_every is 0).
+  const CheckpointStats& checkpoint_stats() const { return ckpt_stats_; }
+
+  // Restores engine state from a snapshot written by SaveCheckpoint. All
+  // validation — header fields against this engine's configuration and
+  // template instantiation, every declared count against the remaining file
+  // size, and the FNV-1a trailer — happens before any state is touched, so a
+  // corrupt or mismatched snapshot returns false and leaves the engine
+  // unchanged. Driver-only.
+  bool LoadCheckpoint(const std::string& path) {
+    BinaryFileReader r(path);
+    if (!r.ok()) {
+      return false;
+    }
+    CheckpointHeader h;
+    if (!ReadCheckpointHeader(r, &h)) {
+      return false;
+    }
+    if (h.num_nodes != options_.num_nodes || h.seed != options_.seed ||
+        h.num_walkers != num_walkers_ || h.walker_bytes != sizeof(WalkerT) ||
+        h.pending_bytes != sizeof(PendingTrial) ||
+        h.inflight_bytes != sizeof(InFlightMove) ||
+        h.pathentry_bytes != sizeof(PathEntry)) {
+      return false;
+    }
+    std::vector<step_t> progress;
+    if (!r.ReadVec(&progress)) {
+      return false;
+    }
+    // The progress section is written per the run's reliability mode: one
+    // entry per walker under fault injection, empty otherwise.
+    if (progress.size() != (reliable_ ? static_cast<size_t>(num_walkers_) : 0)) {
+      return false;
+    }
+    std::vector<uint64_t> history;
+    if (!r.ReadVec(&history)) {
+      return false;
+    }
+    struct NodeSnapshot {
+      SamplingStats stats;
+      std::vector<WalkerT> active;
+      std::vector<PendingTrial> pending;
+      std::vector<InFlightMove> in_flight;
+      std::vector<PathEntry> path_log;
+    };
+    std::vector<NodeSnapshot> snap(options_.num_nodes);
+    for (auto& ns : snap) {
+      uint64_t stats_bytes = 0;
+      if (!r.Read(&stats_bytes) || stats_bytes != sizeof(SamplingStats) ||
+          !r.ReadBytes(&ns.stats, sizeof(SamplingStats))) {
+        return false;
+      }
+      if (!r.ReadVec(&ns.active) || !r.ReadVec(&ns.pending) ||
+          !r.ReadVec(&ns.in_flight) || !r.ReadVec(&ns.path_log)) {
+        return false;
+      }
+    }
+    uint64_t computed = r.checksum();
+    uint64_t stored = 0;
+    if (!r.Read(&stored) || stored != computed || r.remaining() != 0) {
+      return false;
+    }
+    // Fully validated — commit. Parked trials and next_active are transients
+    // that are always empty at the top-of-loop cut the snapshot was taken at.
+    superstep_ = h.superstep;
+    walker_progress_ = std::move(progress);
+    active_history_ = std::move(history);
+    for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
+      NodeState& node = *nodes_[n];
+      NodeSnapshot& ns = snap[n];
+      node.stats = ns.stats;
+      node.active = std::move(ns.active);
+      node.next_active.clear();
+      node.parked.clear();
+      node.pending.clear();
+      // Snapshot sections are vectors sorted by walker id at save time; map
+      // insertion order is immaterial. kk-lint: nondeterministic-order-ok
+      for (auto& trial : ns.pending) {
+        walker_id_t id = trial.walker.id;
+        bool inserted = node.pending.emplace(id, std::move(trial)).second;
+        KK_CHECK(inserted);
+      }
+      node.in_flight.clear();
+      // kk-lint: nondeterministic-order-ok (sorted vector, see above)
+      for (auto& move : ns.in_flight) {
+        walker_id_t id = move.walker.id;
+        bool inserted = node.in_flight.emplace(id, std::move(move)).second;
+        KK_CHECK(inserted);
+      }
+      node.path_log = std::move(ns.path_log);
+    }
+    return true;
+  }
 
   // The raw path log of the last Run in canonical (walker, step) order
   // (requires options.collect_paths). Deterministic-simulation tests
@@ -377,6 +520,12 @@ class WalkEngine {
     out.SetGauge("engine.acceptance_rate", with({}), last_stats_.AcceptanceRate(),
                  /*stable=*/true);
     out.AddCounter("engine.sampler_bytes", with({}), sampler_.MemoryBytes());
+    out.AddCounter("engine.checkpoints", with({}), ckpt_stats_.checkpoints);
+    out.AddCounter("engine.checkpoint_bytes", with({}), ckpt_stats_.checkpoint_bytes);
+    // Wall-clock: never part of the deterministic snapshot contract.
+    out.AddCounter("engine.checkpoint_micros", with({}), ckpt_stats_.checkpoint_micros,
+                   /*stable=*/false);
+    out.AddCounter("engine.recoveries", with({}), ckpt_stats_.recoveries);
     out.SetGauge("engine.phase_seconds", with({{"phase", "sample"}}), phase_times_.sample);
     out.SetGauge("engine.phase_seconds", with({{"phase", "respond"}}), phase_times_.respond);
     out.SetGauge("engine.phase_seconds", with({{"phase", "resolve"}}), phase_times_.resolve);
@@ -1096,6 +1245,123 @@ class WalkEngine {
     }
   }
 
+  // Serializes the current top-of-loop state to options_.checkpoint_path.
+  // The cut is exact: active walkers, parked second-order trials (map
+  // protocol), unacknowledged in-flight copies, path logs, per-node stats,
+  // plus the driver's dedup/progress state. Mailbox buffers are not part of
+  // the snapshot — undelivered retransmits and re-queries are regenerated by
+  // the reliability protocol's timeout machinery after a restore, and
+  // receiver-side dedup keeps the walk output byte-identical regardless.
+  // A checkpoint that cannot be written aborts the run: silently skipping it
+  // would void the recovery guarantee the caller asked for.
+  void SaveCheckpoint() {
+    static_assert(std::is_trivially_copyable_v<WalkerT>);
+    static_assert(std::is_trivially_copyable_v<PendingTrial>);
+    static_assert(std::is_trivially_copyable_v<InFlightMove>);
+    static_assert(std::is_trivially_copyable_v<PathEntry>);
+    static_assert(std::is_trivially_copyable_v<SamplingStats>);
+    Timer timer;
+    obs::TraceRecorder* const trace = options_.trace;
+    double span_start = trace != nullptr ? trace->Now() : 0.0;
+    const std::string tmp = options_.checkpoint_path + ".tmp";
+    BinaryFileWriter w(tmp);
+    KK_CHECK_MSG(w.ok(), "cannot open checkpoint tmp file %s", tmp.c_str());
+    CheckpointHeader h;
+    h.num_nodes = options_.num_nodes;
+    h.seed = options_.seed;
+    h.superstep = superstep_;
+    h.num_walkers = num_walkers_;
+    h.walker_bytes = sizeof(WalkerT);
+    h.pending_bytes = sizeof(PendingTrial);
+    h.inflight_bytes = sizeof(InFlightMove);
+    h.pathentry_bytes = sizeof(PathEntry);
+    WriteCheckpointHeader(w, h);
+    w.WriteVec(walker_progress_);
+    w.WriteVec(active_history_);
+    std::vector<PendingTrial> pending_sorted;
+    std::vector<InFlightMove> inflight_sorted;
+    for (auto& node : nodes_) {
+      w.Write(static_cast<uint64_t>(sizeof(SamplingStats)));
+      w.WriteBytes(&node->stats, sizeof(SamplingStats));
+      w.WriteVec(node->active);
+      // The snapshot must be a pure function of engine state, not of hash-map
+      // layout: copy the maps out and canonicalize by walker id before
+      // serializing. Order restored at load time is a map again, so walk
+      // output never depends on it either way.
+      pending_sorted.clear();
+      pending_sorted.reserve(node->pending.size());
+      // kk-lint: nondeterministic-order-ok
+      for (const auto& kv : node->pending) {
+        pending_sorted.push_back(kv.second);
+      }
+      std::sort(pending_sorted.begin(), pending_sorted.end(),
+                [](const PendingTrial& a, const PendingTrial& b) {
+                  return a.walker.id < b.walker.id;
+                });
+      w.WriteVec(pending_sorted);
+      inflight_sorted.clear();
+      inflight_sorted.reserve(node->in_flight.size());
+      // kk-lint: nondeterministic-order-ok
+      for (const auto& kv : node->in_flight) {
+        inflight_sorted.push_back(kv.second);
+      }
+      std::sort(inflight_sorted.begin(), inflight_sorted.end(),
+                [](const InFlightMove& a, const InFlightMove& b) {
+                  return a.walker.id < b.walker.id;
+                });
+      w.WriteVec(inflight_sorted);
+      w.WriteVec(node->path_log);
+    }
+    w.Write(w.checksum());
+    uint64_t bytes = w.bytes_written();
+    KK_CHECK_MSG(w.Close(), "checkpoint write to %s failed", tmp.c_str());
+    KK_CHECK_MSG(CommitFile(tmp, options_.checkpoint_path),
+                 "cannot commit checkpoint to %s", options_.checkpoint_path.c_str());
+    ckpt_stats_.checkpoints += 1;
+    ckpt_stats_.checkpoint_bytes += bytes;
+    ckpt_stats_.checkpoint_micros += static_cast<uint64_t>(timer.Seconds() * 1e6);
+    if (trace != nullptr) {
+      trace->RecordSpan("checkpoint", 0, 0, span_start, trace->Now() - span_start,
+                        superstep_);
+    }
+  }
+
+  // Simulated whole-node failure: node `rank` loses all volatile state, and
+  // the cluster performs a coordinated rollback — every node (not just the
+  // crashed one) reloads the last committed snapshot and the superstep loop
+  // resumes from the restored cut. In-transit messages are wiped with the
+  // node; the reliability protocol regenerates them. Mailbox fault epochs are
+  // deliberately NOT rewound, so the injector may deal the replayed
+  // supersteps a different fault schedule — the protocol makes walk output
+  // invariant to that too, which is exactly what the recovery tests assert.
+  void RecoverFromCrash(node_rank_t rank) {
+    KK_CHECK_MSG(options_.checkpoint_every > 0,
+                 "node crash fired with checkpointing disabled");
+    KK_CHECK(rank < options_.num_nodes);
+    obs::TraceRecorder* const trace = options_.trace;
+    double span_start = trace != nullptr ? trace->Now() : 0.0;
+    NodeState& crashed = *nodes_[rank];
+    crashed.active.clear();
+    crashed.next_active.clear();
+    crashed.parked.clear();
+    crashed.pending.clear();
+    crashed.in_flight.clear();
+    crashed.path_log.clear();
+    crashed.stats = SamplingStats{};
+    walker_mail_->Wipe();
+    query_mail_->Wipe();
+    response_mail_->Wipe();
+    ack_mail_->Wipe();
+    KK_CHECK_MSG(LoadCheckpoint(options_.checkpoint_path),
+                 "cannot restore checkpoint %s after node %u crash",
+                 options_.checkpoint_path.c_str(), static_cast<unsigned>(rank));
+    ckpt_stats_.recoveries += 1;
+    if (trace != nullptr) {
+      trace->RecordSpan("recover", 0, 0, span_start, trace->Now() - span_start,
+                        superstep_);
+    }
+  }
+
   void RunIteration() {
     node_rank_t num_nodes = options_.num_nodes;
     Timer phase_timer;
@@ -1410,6 +1676,7 @@ class WalkEngine {
   std::vector<real_t> lower_;
   std::vector<uint64_t> active_history_;
   EnginePhaseTimes phase_times_;
+  CheckpointStats ckpt_stats_;
   std::unique_ptr<Mailbox<WalkerT>> walker_mail_;
   std::unique_ptr<Mailbox<QueryMsg>> query_mail_;
   std::unique_ptr<Mailbox<ResponseMsg>> response_mail_;

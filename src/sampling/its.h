@@ -43,11 +43,21 @@ class InverseTransformSampler {
 
   // Samples index i with probability weights[i] / total_weight in O(log n).
   size_t Sample(Rng& rng) const {
-    KK_DCHECK(total_weight_ > 0);
+    // Hard check (alias-table contract): an all-zero distribution must never
+    // be sampled from. With KK_DCHECK this was release-mode UB — NextDouble(0)
+    // returns 0 and upper_bound over an all-zero CDF returns end(), so the
+    // fallback handed back a probability-zero index.
+    KK_CHECK(total_weight_ > 0);
     double r = rng.NextDouble(total_weight_);
     auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
     if (it == cdf_.end()) {
-      --it;  // guards the measure-zero r == total case under rounding
+      // Measure-zero r == total case under rounding: step back past any
+      // trailing zero-weight entries (their cdf equals the predecessor's) so
+      // the fallback never returns a probability-zero index.
+      --it;
+      while (it != cdf_.begin() && *it == *(it - 1)) {
+        --it;
+      }
     }
     return static_cast<size_t>(it - cdf_.begin());
   }
@@ -98,13 +108,21 @@ class FlatItsTables {
   vertex_id_t Sample(vertex_id_t v, Rng& rng) const {
     edge_index_t begin = offsets_[v];
     edge_index_t end = offsets_[v + 1];
-    KK_DCHECK(end > begin && totals_[v] > 0);
+    // Hard check, matching the alias-table contract: a zero-total row must
+    // never be sampled (callers guard on TotalWeight(v) first). As a
+    // KK_DCHECK this was release-mode UB on zero-total rows.
+    KK_CHECK(end > begin && totals_[v] > 0);
     double r = rng.NextDouble(totals_[v]);
     const double* first = cdf_.data() + begin;
     const double* last = cdf_.data() + end;
     const double* it = std::upper_bound(first, last, r);
     if (it == last) {
+      // r == total under rounding: step back past trailing zero-weight
+      // entries so the fallback cannot return a probability-zero edge.
       --it;
+      while (it != first && *it == *(it - 1)) {
+        --it;
+      }
     }
     return static_cast<vertex_id_t>(it - first);
   }

@@ -35,6 +35,7 @@ void FaultInjector::ResetCounters() {
   dropped_.store(0);
   delayed_.store(0);
   duplicated_.store(0);
+  crashes_fired_ = 0;
 }
 
 }  // namespace knightking

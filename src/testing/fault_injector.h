@@ -17,9 +17,13 @@
 #define SRC_TESTING_FAULT_INJECTOR_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/types.h"
 
 namespace knightking {
 
@@ -43,6 +47,16 @@ struct FaultCounters {
   uint64_t dropped = 0;
   uint64_t delayed = 0;
   uint64_t duplicated = 0;
+  uint64_t crashes = 0;  // node crashes consumed by the engine driver
+};
+
+// A scheduled whole-node failure: when the engine's superstep counter
+// reaches `epoch`, logical node `rank` loses all volatile state (active
+// walkers, parked trials, in-flight copies, path log) and the driver runs
+// checkpoint recovery. See docs/TESTING.md.
+struct CrashEvent {
+  node_rank_t rank = 0;
+  uint64_t epoch = 0;
 };
 
 class FaultInjector {
@@ -62,14 +76,48 @@ class FaultInjector {
     return CounterRng(policy_.seed ^ Mix64(salt ^ Mix64(epoch * 0x9e37ULL + lane)));
   }
 
+  // Schedules a one-shot node crash at the given engine superstep. Crash
+  // faults require the engine to run with checkpointing enabled
+  // (WalkEngineOptions::checkpoint_every > 0); multiple crashes may be
+  // scheduled, including at epochs the engine replays after an earlier
+  // recovery. Driver-only: call before Run, never concurrently with it.
+  void CrashNode(node_rank_t rank, uint64_t epoch) {
+    scheduled_crashes_.push_back(CrashEvent{rank, epoch});
+  }
+
+  // Consumes the earliest scheduled crash due at or before `epoch` and
+  // returns its rank, or nullopt. Consume-once semantics matter: after
+  // recovery the engine replays supersteps it already executed, and a crash
+  // that re-fired on every pass over its epoch would wedge the run in a
+  // crash/recover loop. Driver-only.
+  std::optional<node_rank_t> TakeCrash(uint64_t epoch) {
+    for (size_t i = 0; i < scheduled_crashes_.size(); ++i) {
+      if (scheduled_crashes_[i].epoch <= epoch) {
+        node_rank_t rank = scheduled_crashes_[i].rank;
+        scheduled_crashes_.erase(scheduled_crashes_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+        crashes_fired_ += 1;
+        return rank;
+      }
+    }
+    return std::nullopt;
+  }
+
+  size_t pending_crashes() const { return scheduled_crashes_.size(); }
+
   FaultCounters counters() const {
-    return {delivered_.load(), dropped_.load(), delayed_.load(), duplicated_.load()};
+    return {delivered_.load(), dropped_.load(), delayed_.load(), duplicated_.load(),
+            crashes_fired_};
   }
 
   void ResetCounters();
 
  private:
   FaultPolicy policy_;
+  // Crash scheduling is driver-only (unlike Decide, which worker threads hit
+  // through the mailboxes), so plain members suffice.
+  std::vector<CrashEvent> scheduled_crashes_;
+  uint64_t crashes_fired_ = 0;
   std::atomic<uint64_t> delivered_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> delayed_{0};

@@ -1,0 +1,369 @@
+// Checkpoint/restore and node-crash recovery tests.
+//
+// The acceptance bar is the same bit-identical standard the fault-injection
+// suite holds the reliability protocol to: a run that crashes at superstep k
+// and is restored from the last committed snapshot must produce path logs
+// byte-identical to an uninterrupted run under the same seed — across worker
+// counts, first- and second-order walks, and with message faults layered on
+// top of the crash. Snapshot integrity is tested separately: every corrupt
+// mutation of a valid snapshot (bad magic, truncated header, oversized
+// declared counts, truncated payload, flipped payload byte, trailing
+// garbage) must be rejected cleanly by both InspectCheckpoint and
+// LoadCheckpoint, with no allocation blow-up and no engine state touched.
+//
+// The CI deterministic-sim job re-runs this binary under TSan with
+// KK_SIM_WORKERS=4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/apps/deepwalk.h"
+#include "src/apps/node2vec.h"
+#include "src/engine/checkpoint.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/testing/fault_injector.h"
+#include "tools/kk-metrics/check.h"
+
+namespace knightking {
+namespace {
+
+constexpr uint64_t kSeed = 91;
+
+size_t WorkersFromEnv() {
+  const char* env = std::getenv("KK_SIM_WORKERS");
+  return env != nullptr ? static_cast<size_t>(std::atoi(env)) : 0;
+}
+
+std::string SnapshotPath(const std::string& tag) {
+  return testing::TempDir() + "kk_ckpt_" + tag + ".bin";
+}
+
+WalkEngineOptions BaseOptions(node_rank_t num_nodes, size_t workers) {
+  WalkEngineOptions opts;
+  opts.num_nodes = num_nodes;
+  opts.workers_per_node = workers;
+  opts.collect_paths = true;
+  opts.seed = kSeed;
+  return opts;
+}
+
+struct CrashSpec {
+  node_rank_t rank = 0;
+  uint64_t epoch = 0;
+};
+
+// Reference run (fault-free, no checkpointing) vs a run that checkpoints
+// every `checkpoint_every` supersteps and suffers the scheduled crashes.
+// Paths and total steps must match exactly; every scheduled crash must
+// actually fire and be recovered from.
+template <typename EdgeData, typename WalkerState, typename QueryResponse,
+          typename SpecFn, typename WalkerSpecT>
+void ExpectCrashedRunMatchesUninterrupted(
+    const EdgeList<EdgeData>& edges, const SpecFn& make_spec, const WalkerSpecT& walkers,
+    const FaultPolicy& policy, const std::vector<CrashSpec>& crashes,
+    uint64_t checkpoint_every, node_rank_t num_nodes, size_t workers,
+    const std::string& tag) {
+  using EngineT = WalkEngine<EdgeData, WalkerState, QueryResponse>;
+  std::vector<PathEntry> reference;
+  SamplingStats clean_stats;
+  {
+    EngineT engine(Csr<EdgeData>::FromEdgeList(edges), BaseOptions(num_nodes, workers));
+    clean_stats = engine.Run(make_spec(engine.graph()), walkers);
+    reference = engine.TakePathEntries();
+  }
+  ASSERT_FALSE(reference.empty());
+
+  FaultInjector injector(policy);
+  for (const CrashSpec& c : crashes) {
+    injector.CrashNode(c.rank, c.epoch);
+  }
+  WalkEngineOptions opts = BaseOptions(num_nodes, workers);
+  opts.fault_injector = &injector;
+  opts.checkpoint_every = checkpoint_every;
+  opts.checkpoint_path = SnapshotPath(tag);
+  EngineT engine(Csr<EdgeData>::FromEdgeList(edges), opts);
+  SamplingStats stats = engine.Run(make_spec(engine.graph()), walkers);
+  std::vector<PathEntry> crashed = engine.TakePathEntries();
+
+  EXPECT_EQ(crashed, reference) << "recovered walk diverged from uninterrupted walk";
+  EXPECT_EQ(stats.steps, clean_stats.steps);
+  EXPECT_EQ(engine.checkpoint_stats().recoveries, crashes.size());
+  EXPECT_EQ(injector.counters().crashes, crashes.size());
+  EXPECT_EQ(injector.pending_crashes(), 0u);
+  EXPECT_GT(engine.checkpoint_stats().checkpoints, 0u);
+  EXPECT_GT(engine.checkpoint_stats().checkpoint_bytes, 0u);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+FaultPolicy NoMessageFaults() { return FaultPolicy{}; }
+
+FaultPolicy DropAndDelay() {
+  FaultPolicy policy;
+  policy.drop = 0.1;
+  policy.delay = 0.1;
+  return policy;
+}
+
+// The acceptance matrix: crash epoch x worker count, first-order lockstep
+// (deepwalk) with and without message faults layered on the crash.
+TEST(CheckpointRecoveryTest, DeepWalkCrashMatrix) {
+  auto edges = GenerateUniformDegree(200, 8, 301);
+  DeepWalkParams params{.walk_length = 16};
+  int variant = 0;
+  for (size_t workers : {size_t{0}, size_t{4}}) {
+    for (uint64_t epoch : {uint64_t{1}, uint64_t{5}}) {
+      for (bool faulty : {false, true}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) + " epoch=" +
+                     std::to_string(epoch) + " faulty=" + std::to_string(faulty));
+        ExpectCrashedRunMatchesUninterrupted<EmptyEdgeData, EmptyWalkerState, uint8_t>(
+            edges, [](const auto&) { return DeepWalkTransition<EmptyEdgeData>(); },
+            DeepWalkWalkers(120, params), faulty ? DropAndDelay() : NoMessageFaults(),
+            {{2, epoch}}, /*checkpoint_every=*/3, /*num_nodes=*/4, workers,
+            "deepwalk_" + std::to_string(variant++));
+      }
+    }
+  }
+}
+
+// Second-order walks park trials with partially-consumed RNG streams and
+// keep in-flight query state — exactly the state a naive checkpoint would
+// lose. Crash mid-walk with faults on every mailbox.
+TEST(CheckpointRecoveryTest, Node2VecCrashMatrix) {
+  auto edges = GenerateUniformDegree(180, 8, 302);
+  Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 12};
+  int variant = 0;
+  for (size_t workers : {size_t{0}, size_t{4}}) {
+    for (uint64_t epoch : {uint64_t{2}, uint64_t{6}}) {
+      for (bool faulty : {false, true}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) + " epoch=" +
+                     std::to_string(epoch) + " faulty=" + std::to_string(faulty));
+        ExpectCrashedRunMatchesUninterrupted<EmptyEdgeData, EmptyWalkerState, uint8_t>(
+            edges, [&](const auto& g) { return Node2VecTransition(g, params); },
+            Node2VecWalkers(100, params), faulty ? DropAndDelay() : NoMessageFaults(),
+            {{1, epoch}}, /*checkpoint_every=*/2, /*num_nodes=*/4, workers,
+            "node2vec_" + std::to_string(variant++));
+      }
+    }
+  }
+}
+
+// Two crashes, the second landing inside the supersteps replayed after the
+// first recovery — consume-once crash scheduling must not wedge the run.
+TEST(CheckpointRecoveryTest, DoubleCrashIncludingReplayedEpoch) {
+  auto edges = GenerateUniformDegree(180, 8, 303);
+  Node2VecParams params{.p = 2.0, .q = 0.5, .walk_length = 12};
+  ExpectCrashedRunMatchesUninterrupted<EmptyEdgeData, EmptyWalkerState, uint8_t>(
+      edges, [&](const auto& g) { return Node2VecTransition(g, params); },
+      Node2VecWalkers(90, params), DropAndDelay(), {{0, 4}, {3, 5}},
+      /*checkpoint_every=*/3, /*num_nodes=*/4, WorkersFromEnv(), "double_crash");
+}
+
+// Checkpointing with no crash must be output-invisible: identical paths to a
+// run that never touches the filesystem, snapshots committed, no recoveries.
+TEST(CheckpointRecoveryTest, CheckpointingAloneDoesNotChangeWalks) {
+  auto edges = GenerateUniformDegree(200, 8, 304);
+  DeepWalkParams params{.walk_length = 16};
+  std::vector<PathEntry> reference;
+  {
+    WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges),
+                                     BaseOptions(4, WorkersFromEnv()));
+    engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(120, params));
+    reference = engine.TakePathEntries();
+  }
+  WalkEngineOptions opts = BaseOptions(4, WorkersFromEnv());
+  opts.checkpoint_every = 2;
+  opts.checkpoint_path = SnapshotPath("no_crash");
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(120, params));
+  EXPECT_EQ(engine.TakePathEntries(), reference);
+  EXPECT_GT(engine.checkpoint_stats().checkpoints, 0u);
+  EXPECT_EQ(engine.checkpoint_stats().recoveries, 0u);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// A committed snapshot passes the generic traversal (the same validation
+// kk-ckpt performs), reports the header the engine wrote, and loads back
+// into a matching engine.
+TEST(CheckpointFormatTest, SnapshotIsInspectableAndLoadable) {
+  auto edges = GenerateUniformDegree(150, 8, 305);
+  DeepWalkParams params{.walk_length = 12};
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.checkpoint_every = 1;  // leave a snapshot from a late superstep behind
+  opts.checkpoint_path = SnapshotPath("inspect");
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(80, params));
+
+  CheckpointInfo info;
+  std::string error;
+  ASSERT_TRUE(InspectCheckpoint(opts.checkpoint_path, &info, &error)) << error;
+  EXPECT_EQ(info.header.num_nodes, 2u);
+  EXPECT_EQ(info.header.seed, kSeed);
+  EXPECT_EQ(info.header.num_walkers, 80u);
+  EXPECT_EQ(info.header.version, kCheckpointVersion);
+  EXPECT_GT(info.header.superstep, 0u);
+  EXPECT_GT(info.file_bytes, 0u);
+  EXPECT_GT(info.path_entries, 0u);
+  // Fault-free run: no dedup table, no parked or in-flight protocol state.
+  EXPECT_EQ(info.progress_entries, 0u);
+  EXPECT_EQ(info.pending_trials, 0u);
+  EXPECT_EQ(info.in_flight_moves, 0u);
+
+  EXPECT_TRUE(engine.LoadCheckpoint(opts.checkpoint_path));
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string data;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// Every tested mutation of a valid snapshot must fail cleanly — false from
+// both the generic traversal and the engine loader, no crash, no multi-GB
+// allocation from a corrupt declared count.
+TEST(CheckpointFormatTest, CorruptSnapshotsAreRejected) {
+  auto edges = GenerateUniformDegree(150, 8, 306);
+  DeepWalkParams params{.walk_length = 12};
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.checkpoint_every = 1;
+  opts.checkpoint_path = SnapshotPath("corrupt_base");
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(80, params));
+  std::string valid = ReadAll(opts.checkpoint_path);
+  ASSERT_GT(valid.size(), 64u);
+
+  struct Mutation {
+    const char* name;
+    std::string data;
+  };
+  std::string huge_count = valid;
+  // The walker_progress count (u64) sits right after the 56-byte header;
+  // declare ~2^56 entries and let the reader validate it against file size.
+  for (size_t i = 0; i < 8; ++i) {
+    huge_count[56 + i] = static_cast<char>(0xff);
+  }
+  std::string flipped = valid;
+  flipped[valid.size() / 2] = static_cast<char>(flipped[valid.size() / 2] ^ 0x5a);
+  std::string bad_magic = valid;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+  const Mutation mutations[] = {
+      {"bad_magic", bad_magic},
+      {"truncated_header", valid.substr(0, 20)},
+      {"huge_declared_count", huge_count},
+      {"truncated_payload", valid.substr(0, valid.size() - 16)},
+      {"flipped_payload_byte", flipped},
+      {"trailing_garbage", valid + "extra"},
+      {"empty_file", std::string()},
+  };
+  for (const Mutation& m : mutations) {
+    SCOPED_TRACE(m.name);
+    std::string path = SnapshotPath(std::string("corrupt_") + m.name);
+    WriteAll(path, m.data);
+    CheckpointInfo info;
+    std::string error;
+    EXPECT_FALSE(InspectCheckpoint(path, &info, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(engine.LoadCheckpoint(path));
+    std::remove(path.c_str());
+  }
+  // The untouched original still validates and loads.
+  CheckpointInfo info;
+  std::string error;
+  EXPECT_TRUE(InspectCheckpoint(opts.checkpoint_path, &info, &error)) << error;
+  EXPECT_TRUE(engine.LoadCheckpoint(opts.checkpoint_path));
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// A snapshot from a mismatched configuration (different cluster size) must
+// be refused by the loader even though it is structurally valid.
+TEST(CheckpointFormatTest, MismatchedConfigurationIsRefused) {
+  auto edges = GenerateUniformDegree(150, 8, 307);
+  DeepWalkParams params{.walk_length = 12};
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.checkpoint_every = 1;
+  opts.checkpoint_path = SnapshotPath("mismatch");
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(80, params));
+
+  WalkEngine<EmptyEdgeData> other(Csr<EmptyEdgeData>::FromEdgeList(edges),
+                                  BaseOptions(4, 0));
+  other.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(80, params));
+  EXPECT_FALSE(other.LoadCheckpoint(opts.checkpoint_path));
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// Scheduling a crash without enabling checkpointing is a configuration
+// error the engine refuses up front.
+TEST(CheckpointRecoveryTest, CrashWithoutCheckpointingDies) {
+  auto edges = GenerateUniformDegree(100, 6, 308);
+  DeepWalkParams params{.walk_length = 8};
+  FaultInjector injector(FaultPolicy{});
+  injector.CrashNode(0, 1);
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.fault_injector = &injector;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  EXPECT_DEATH(engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(50, params)),
+               "crash");
+}
+
+// Exported metrics carry the checkpoint counters and still satisfy the
+// kk-metrics snapshot schema; the trace records checkpoint/recover spans.
+TEST(CheckpointObservabilityTest, MetricsAndTraceCoverCheckpointing) {
+  auto edges = GenerateUniformDegree(150, 8, 309);
+  DeepWalkParams params{.walk_length = 12};
+  FaultInjector injector(FaultPolicy{});
+  injector.CrashNode(1, 2);
+  obs::TraceRecorder trace;
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.fault_injector = &injector;
+  opts.checkpoint_every = 2;
+  opts.checkpoint_path = SnapshotPath("obs");
+  opts.trace = &trace;
+  WalkEngine<EmptyEdgeData> engine(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<EmptyEdgeData>(), DeepWalkWalkers(80, params));
+
+  obs::MetricsRegistry reg;
+  engine.ExportMetrics(reg, {{"workload", "deepwalk"}});
+  std::string json = reg.ToJson();
+  metrics::CheckResult check = metrics::CheckJsonText(json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_NE(json.find("engine.checkpoints"), std::string::npos);
+  EXPECT_NE(json.find("engine.checkpoint_bytes"), std::string::npos);
+  EXPECT_NE(json.find("engine.recoveries"), std::string::npos);
+  // checkpoint_micros is wall-clock: present in the full snapshot, excluded
+  // from the stable (run-to-run comparable) one.
+  EXPECT_NE(json.find("engine.checkpoint_micros"), std::string::npos);
+  std::string stable = reg.ToJson(obs::MetricsRegistry::Snapshot::kStableOnly);
+  EXPECT_EQ(stable.find("engine.checkpoint_micros"), std::string::npos);
+  EXPECT_NE(stable.find("engine.checkpoints"), std::string::npos);
+
+  std::string chrome = trace.ToChromeJson();
+  EXPECT_NE(chrome.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"recover\""), std::string::npos);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace knightking

@@ -308,6 +308,79 @@ TEST(PathIoTest, ReadRejectsGarbage) {
   std::remove(file.c_str());
 }
 
+// Every tested mutation of a valid corpus file must be rejected cleanly —
+// in particular oversized declared counts must fail size validation before
+// any allocation is attempted.
+TEST(PathIoTest, CorruptBinaryCorpusIsRejected) {
+  std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}, {4, 5}, {6}};
+  std::string base = testing::TempDir() + "/corrupt_base.bin";
+  ASSERT_TRUE(WritePathsBinary(paths, base));
+  std::string valid;
+  {
+    std::FILE* f = std::fopen(base.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[256];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      valid.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  std::remove(base.c_str());
+  ASSERT_GT(valid.size(), 24u);
+
+  // Layout: magic u64 @0, walk count u64 @8, first walk length u64 @16.
+  std::string bad_magic = valid;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+  std::string huge_count = valid;
+  std::string huge_walk_len = valid;
+  for (size_t i = 0; i < 8; ++i) {
+    huge_count[8 + i] = static_cast<char>(0xff);
+    huge_walk_len[16 + i] = static_cast<char>(0xff);
+  }
+  const struct {
+    const char* name;
+    std::string data;
+  } mutations[] = {
+      {"bad_magic", bad_magic},
+      {"truncated_header", valid.substr(0, 12)},
+      {"huge_declared_count", huge_count},
+      {"huge_walk_length", huge_walk_len},
+      {"truncated_payload", valid.substr(0, valid.size() - 5)},
+      {"trailing_garbage", valid + "junk"},
+      {"empty_file", std::string()},
+  };
+  for (const auto& m : mutations) {
+    SCOPED_TRACE(m.name);
+    std::string file = testing::TempDir() + "/corrupt_" + m.name + ".bin";
+    std::FILE* f = std::fopen(file.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(m.data.data(), 1, m.data.size(), f), m.data.size());
+    ASSERT_EQ(std::fclose(f), 0);
+    std::vector<std::vector<vertex_id_t>> loaded = {{99}};
+    EXPECT_FALSE(ReadPathsBinary(file, &loaded));
+    EXPECT_TRUE(loaded.empty()) << "failed read must not leave partial walks";
+    std::remove(file.c_str());
+  }
+}
+
+// Unwritable destinations surface as a clean false from both writers
+// instead of a silently truncated file.
+TEST(PathIoTest, WriteToUnwritablePathFails) {
+  std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}};
+  std::string dir = testing::TempDir();  // a directory, not a file
+  EXPECT_FALSE(WritePathsText(paths, dir));
+  EXPECT_FALSE(WritePathsBinary(paths, dir));
+  std::string missing_parent = testing::TempDir() + "/no_such_dir/corpus.bin";
+  EXPECT_FALSE(WritePathsBinary(paths, missing_parent));
+}
+
+TEST(PathIoTest, ReadMissingFileFails) {
+  std::vector<std::vector<vertex_id_t>> loaded = {{1}};
+  EXPECT_FALSE(ReadPathsBinary(testing::TempDir() + "/does_not_exist.bin", &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
 TEST(PathIoTest, CorpusStats) {
   std::vector<std::vector<vertex_id_t>> paths = {{1, 2, 3}, {4}, {5, 6}};
   CorpusStats stats = ComputeCorpusStats(paths);

@@ -73,6 +73,34 @@ TEST(KkLintTest, Kk005UncheckedReadFixture) {
   EXPECT_EQ(findings.size(), 2u);  // two unguarded variable-index reads
 }
 
+TEST(KkLintTest, Kk005UncheckedAllocFixture) {
+  auto findings = LintFixture("src/engine/kk005_unchecked_alloc.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK005"});
+  EXPECT_EQ(findings.size(), 2u);  // wire-sized resize + reserve; literal exempt
+}
+
+// The hardened-reader idiom counts as a bounds guard: a deserialization
+// function that validates via BinaryFileReader/CanConsume needs no waiver.
+TEST(KkLintTest, Kk005HardenedReaderIdiomIsGuarded) {
+  std::string guarded =
+      "bool ReadBlock(const std::string& p, std::vector<uint32_t>* out) {\n"
+      "  knightking::BinaryFileReader r(p);\n"
+      "  uint64_t count = 0;\n"
+      "  if (!r.Read(&count) || !r.CanConsume(count, 4)) return false;\n"
+      "  out->resize(count);\n"
+      "  return true;\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/engine/read_block.cc", guarded).empty());
+  std::string unguarded =
+      "bool ReadBlock(uint64_t count, std::vector<uint32_t>* out) {\n"
+      "  out->resize(count);\n"
+      "  return true;\n"
+      "}\n";
+  auto findings = LintContent("src/engine/read_block.cc", unguarded);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(std::string(findings[0].rule), "KK005");
+}
+
 TEST(KkLintTest, WaiversSilenceEveryRule) {
   auto findings = LintFixture("src/engine/waived.cc");
   EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s), first: "

@@ -131,19 +131,42 @@ TEST(MetricsCheckerTest, ValidatesHotpathBenchReports) {
     "schema_version": 1,
     "bench": "hotpath",
     "config": {"small": true, "sort_batches": true, "num_nodes": 4,
-               "workers_per_node": 0, "graph_vertices": 100, "graph_edges": 400},
+               "workers_per_node": 0, "checkpoint_every": 8,
+               "graph_vertices": 100, "graph_edges": 400},
     "workloads": [{
       "name": "ppr", "walkers": 100, "seconds": 0.5, "walks_per_sec": 200.0,
       "steps_per_sec": 1000.0, "steps": 500, "iterations": 30,
       "edges_per_step": 0.0,
       "phase_seconds": {"sample": 0.1, "respond": 0.0, "resolve": 0.0,
                         "exchange": 0.2},
-      "cross_node_messages": 10, "cross_node_bytes": 640
+      "cross_node_messages": 10, "cross_node_bytes": 640,
+      "checkpoints": 4, "checkpoint_bytes": 8192, "checkpoint_micros": 120
     }]
   })";
   metrics::CheckResult r = metrics::CheckJsonText(valid);
   EXPECT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.kind, "hotpath");
+
+  // The checkpoint fields are optional (pre-checkpoint reports lack them)
+  // but must be numeric when present.
+  std::string no_ckpt = valid;
+  size_t cpos = no_ckpt.find("\"checkpoint_every\": 8,");
+  ASSERT_NE(cpos, std::string::npos);
+  no_ckpt.erase(cpos, std::string("\"checkpoint_every\": 8,").size());
+  cpos = no_ckpt.find(",\n      \"checkpoints\": 4, \"checkpoint_bytes\": 8192, "
+                      "\"checkpoint_micros\": 120");
+  ASSERT_NE(cpos, std::string::npos);
+  no_ckpt.erase(cpos, std::string(",\n      \"checkpoints\": 4, \"checkpoint_bytes\": "
+                                  "8192, \"checkpoint_micros\": 120")
+                          .size());
+  metrics::CheckResult r_old = metrics::CheckJsonText(no_ckpt);
+  EXPECT_TRUE(r_old.ok) << r_old.error;
+  std::string bad_type = valid;
+  cpos = bad_type.find("\"checkpoint_bytes\": 8192");
+  ASSERT_NE(cpos, std::string::npos);
+  bad_type.replace(cpos, std::string("\"checkpoint_bytes\": 8192").size(),
+                   "\"checkpoint_bytes\": \"lots\"");
+  EXPECT_FALSE(metrics::CheckJsonText(bad_type).ok);
 
   // Dropping a phase bucket must fail the check.
   std::string broken = valid;

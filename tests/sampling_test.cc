@@ -129,6 +129,55 @@ TEST(ItsTest, ZeroWeightNeverSampled) {
   }
 }
 
+// Trailing zero weights are the regression case for the ITS fallback: the
+// CDF's tail entries all equal the total, so a draw that lands exactly on
+// the total (or floating-point noise at the boundary) must step back to the
+// last *positive*-weight entry, never return a probability-zero index.
+TEST(ItsTest, TrailingZeroWeightsNeverSampled) {
+  std::vector<real_t> weights = {2.0f, 1.0f, 0.0f, 0.0f, 0.0f};
+  InverseTransformSampler its(weights);
+  Rng rng(21);
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (int i = 0; i < 60000; ++i) {
+    size_t s = its.Sample(rng);
+    ASSERT_LT(s, size_t{2});
+    ++counts[s];
+  }
+  EXPECT_LT(ChiSquare({counts[0], counts[1]}, {2.0f, 1.0f}), Chi2Critical999(1));
+}
+
+TEST(ItsTest, ZeroTotalWeightDies) {
+  std::vector<real_t> weights = {0.0f, 0.0f, 0.0f};
+  InverseTransformSampler its(weights);
+  Rng rng(22);
+  EXPECT_DEATH(its.Sample(rng), "");
+}
+
+TEST(FlatItsTest, TrailingZeroWeightsNeverSampled) {
+  std::vector<edge_index_t> offsets = {0, 4};
+  std::vector<real_t> weights = {3.0f, 1.0f, 0.0f, 0.0f};
+  FlatItsTables tables;
+  tables.Build(offsets, weights);
+  Rng rng(23);
+  std::vector<uint64_t> counts(2, 0);
+  for (int i = 0; i < 60000; ++i) {
+    size_t s = tables.Sample(0, rng);
+    ASSERT_LT(s, size_t{2});
+    ++counts[s];
+  }
+  EXPECT_LT(ChiSquare(counts, {3.0f, 1.0f}), Chi2Critical999(1));
+}
+
+TEST(FlatItsTest, ZeroTotalVertexDies) {
+  std::vector<edge_index_t> offsets = {0, 2, 2, 4};
+  std::vector<real_t> weights = {0.0f, 0.0f, 1.0f, 1.0f};
+  FlatItsTables tables;
+  tables.Build(offsets, weights);
+  Rng rng(24);
+  EXPECT_DEATH(tables.Sample(0, rng), "");  // all-zero weights
+  EXPECT_DEATH(tables.Sample(1, rng), "");  // no edges at all
+}
+
 TEST(ItsAndAliasAgree, SameDistribution) {
   // Both exact methods over the same weights should produce statistically
   // indistinguishable histograms.

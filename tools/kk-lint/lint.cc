@@ -27,7 +27,9 @@ const std::vector<RuleInfo> kRules = {
      "only at storage boundaries, with a comment"},
     {"KK005", "unchecked-read", "unchecked-read-ok",
      "src/engine/ deserialization functions (Read*/Deserialize*/Decode*/Parse*/Unpack*)",
-     "bounds-guard raw indexing with KK_CHECK, or use .at()"},
+     "bounds-guard raw indexing and size-driven resize/reserve with KK_CHECK, "
+     "or validate declared sizes against the input first "
+     "(BinaryFileReader::CanConsume)"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -312,7 +314,8 @@ void CheckSamplingNarrowing(const std::string& path, const std::vector<std::stri
 }
 
 // ---------------------------------------------------------------------------
-// KK005: unchecked raw indexing in deserialization code.
+// KK005: unchecked raw indexing or size-driven allocation in deserialization
+// code.
 // ---------------------------------------------------------------------------
 void CheckUncheckedRead(const std::string& path, const std::vector<std::string>& raw,
                         const std::vector<std::string>& code,
@@ -323,6 +326,7 @@ void CheckUncheckedRead(const std::string& path, const std::vector<std::string>&
   static const std::regex kDeserialFn(
       R"(\b(?:Read|Deserialize|Decode|Parse|Unpack)\w*\s*\([^;]*$|\b(?:Read|Deserialize|Decode|Parse|Unpack)\w*\s*\(.*\)\s*(?:const\s*)?\{)");
   static const std::regex kSubscript(R"(([A-Za-z_][\w.\->]*)\s*\[\s*([^\]]+)\])");
+  static const std::regex kSizedAlloc(R"((?:\.|->)\s*(resize|reserve)\s*\(\s*([^)]*)\))");
   static const std::regex kLiteralIndex(R"(^\s*\d+\s*$)");
 
   size_t i = 0;
@@ -354,10 +358,16 @@ void CheckUncheckedRead(const std::string& path, const std::vector<std::string>&
       }
     }
     size_t body_end = j < code.size() ? j : code.size() - 1;
+    // A body that validates — explicitly via KK_CHECK/KK_DCHECK, or through
+    // the hardened-reader idiom (BinaryFileReader's declared counts are
+    // checked against the remaining input before any allocation) — is
+    // considered guarded.
     bool has_check = false;
     for (size_t k = body_begin; k <= body_end; ++k) {
       if (code[k].find("KK_CHECK") != std::string::npos ||
-          code[k].find("KK_DCHECK") != std::string::npos) {
+          code[k].find("KK_DCHECK") != std::string::npos ||
+          code[k].find("CanConsume") != std::string::npos ||
+          code[k].find("BinaryFileReader") != std::string::npos) {
         has_check = true;
         break;
       }
@@ -374,6 +384,24 @@ void CheckUncheckedRead(const std::string& path, const std::vector<std::string>&
             Emit(findings, "KK005", path, k,
                  "raw variable-index read '" + it->str(0) +
                      "' in a deserialization function with no KK_CHECK bounds guard",
+                 "unchecked-read-ok");
+          }
+        }
+        // Sizing a container from an unvalidated wire value is the
+        // allocation-blowup twin of the unchecked read: a corrupt count
+        // becomes a multi-GB resize before the payload read even fails.
+        auto alloc_begin =
+            std::sregex_iterator(code[k].begin(), code[k].end(), kSizedAlloc);
+        for (auto it = alloc_begin; it != std::sregex_iterator(); ++it) {
+          std::string arg = it->str(2);
+          if (std::regex_match(arg, kLiteralIndex) || arg.empty()) {
+            continue;  // fixed-size scratch is fine
+          }
+          if (!Waived(raw, k, "unchecked-read-ok")) {
+            Emit(findings, "KK005", path, k,
+                 "container " + it->str(1) + "('" + arg +
+                     "') sized from an unvalidated value in a deserialization "
+                     "function; validate against the input size first",
                  "unchecked-read-ok");
           }
         }

@@ -1,0 +1,21 @@
+// KK005 fixture: size-driven allocations in a deserialization function with
+// no validation of the declared counts against the input size. Two findings:
+// the resize and the reserve, each sized straight from the wire.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Blob {
+  std::vector<uint8_t> payload;
+  std::vector<uint32_t> items;
+};
+
+bool DecodeBlob(uint64_t declared_payload, uint64_t declared_items, Blob* out) {
+  out->payload.resize(declared_payload);
+  out->items.reserve(declared_items * 2);
+  out->payload.resize(16);  // literal-sized scratch: not a finding
+  return true;
+}
+
+}  // namespace fixture

@@ -1,7 +1,10 @@
 // Fixture: every rule silenced by its waiver comment — must lint clean.
 #include <ctime>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/engine/checkpoint.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -29,6 +32,14 @@ uint64_t DrainAnyOrder(const std::unordered_map<uint64_t, int>& idle) {
 uint64_t DecodeChecked(const unsigned char* buf, size_t len, size_t i) {
   KK_CHECK(i < len);
   return buf[i];  // guarded above; the KK_CHECK satisfies KK005
+}
+
+bool DecodeWithReader(const std::string& path, std::vector<uint32_t>* out) {
+  // Hardened-reader idiom: ReadVec validates the declared count against the
+  // remaining file bytes before sizing the vector, so KK005 recognizes
+  // BinaryFileReader use as a guard — no waiver comment needed.
+  knightking::BinaryFileReader r(path);
+  return r.ok() && r.ReadVec(out);
 }
 
 }  // namespace fixture

@@ -29,6 +29,18 @@ bool RequireNumber(const JsonValue& obj, const char* key, CheckResult* r,
   return true;
 }
 
+// Fields introduced after a report format shipped are optional (older
+// checked-in reports lack them) but must be numeric when present.
+bool OptionalNumber(const JsonValue& obj, const char* key, CheckResult* r,
+                    const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v != nullptr && !v->IsNumber()) {
+    Fail(r, where + ": field \"" + key + "\" must be numeric when present");
+    return false;
+  }
+  return true;
+}
+
 bool RequireBool(const JsonValue& obj, const char* key, CheckResult* r,
                  const std::string& where) {
   const JsonValue* v = obj.Find(key);
@@ -117,7 +129,8 @@ void CheckHotpath(const JsonValue& doc, CheckResult* r) {
       !RequireNumber(*config, "num_nodes", r, "config") ||
       !RequireNumber(*config, "workers_per_node", r, "config") ||
       !RequireNumber(*config, "graph_vertices", r, "config") ||
-      !RequireNumber(*config, "graph_edges", r, "config")) {
+      !RequireNumber(*config, "graph_edges", r, "config") ||
+      !OptionalNumber(*config, "checkpoint_every", r, "config")) {
     return;
   }
   const JsonValue* workloads = doc.Find("workloads");
@@ -149,6 +162,11 @@ void CheckHotpath(const JsonValue& doc, CheckResult* r) {
     }
     for (const char* key : {"sample", "respond", "resolve", "exchange"}) {
       if (!RequireNumber(*phases, key, r, where + ".phase_seconds")) {
+        return;
+      }
+    }
+    for (const char* key : {"checkpoints", "checkpoint_bytes", "checkpoint_micros"}) {
+      if (!OptionalNumber(w, key, r, where)) {
         return;
       }
     }
