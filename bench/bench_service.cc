@@ -1,0 +1,303 @@
+// Closed-loop serving benchmark: Zipfian query traffic against WalkService,
+// emitted as BENCH_service.json so the serving layer's latency trajectory is
+// tracked in version control next to the engine's hot-path throughput.
+//
+// A seeded user population issues PPR and context queries; user popularity
+// is Zipfian (rank r drawn with P(r) ~ 1/r^theta), which gives the result
+// cache a realistic hot set. The loop is closed: a fixed number of in-flight
+// queries is maintained by submitting until the admission queue pushes back,
+// then draining one batch — so the queue depth, batching, and backpressure
+// paths are all on the measured path.
+//
+// Flags:
+//   --small            reduced sizes for CI smoke runs
+//   --out FILE         JSON output path (default BENCH_service.json)
+//   --queries N        total queries to serve
+//   --workers N        engine workers per node (default 4)
+//   --segments N       index segments per vertex (0 = all-live serving)
+//   --cache N          result-cache capacity (default 256)
+//   --faults           inject message drop/delay/duplicate/reorder faults
+//                      into the live-walk engine runs (soak configuration)
+//   --max-p99-ms X     exit non-zero if served p99 latency exceeds X ms
+//   --metrics-out FILE write the service kk-metrics snapshot as well
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/obs/metrics_registry.h"
+#include "src/service/walk_service.h"
+#include "src/testing/fault_injector.h"
+
+namespace knightking {
+namespace bench {
+namespace {
+
+struct ServiceBenchConfig {
+  bool small = false;
+  bool faults = false;
+  uint64_t queries = 0;  // 0 = pick by --small
+  size_t workers = 4;
+  uint32_t segments_per_vertex = 8;
+  size_t cache_capacity = 256;
+  double max_p99_ms = 0.0;  // 0 = no gate
+  std::string out_path = "BENCH_service.json";
+  std::string metrics_path;
+};
+
+// Zipfian rank sampler over a fixed population: precomputed CDF, sampled by
+// binary search. P(rank r) ~ 1 / (r + 1)^theta.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t population, double theta) : cdf_(population) {
+    double total = 0.0;
+    for (uint64_t r = 0; r < population; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) {
+      c /= total;
+    }
+  }
+
+  uint64_t Sample(CounterRng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct BenchResults {
+  uint64_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t segments_stitched = 0;
+  uint64_t live_walks = 0;
+  uint64_t rejected = 0;
+  uint64_t peak_queue_depth = 0;
+  uint64_t index_segments = 0;
+  uint64_t index_bytes = 0;
+  double index_build_seconds = 0.0;
+};
+
+void WriteTextFile(const std::string& path, const std::string& contents, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
+}
+
+void WriteJson(const ServiceBenchConfig& config, const BenchResults& r,
+               vertex_id_t num_vertices, edge_index_t num_edges, uint64_t users,
+               double theta) {
+  std::FILE* f = std::fopen(config.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot open %s for writing\n",
+                 config.out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"service\",\n");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"small\": %s,\n", config.small ? "true" : "false");
+  std::fprintf(f, "    \"faults\": %s,\n", config.faults ? "true" : "false");
+  std::fprintf(f, "    \"workers_per_node\": %zu,\n", config.workers);
+  std::fprintf(f, "    \"segments_per_vertex\": %u,\n", config.segments_per_vertex);
+  std::fprintf(f, "    \"cache_capacity\": %zu,\n", config.cache_capacity);
+  std::fprintf(f, "    \"users\": %llu,\n", static_cast<unsigned long long>(users));
+  std::fprintf(f, "    \"zipf_theta\": %.4f,\n", theta);
+  std::fprintf(f, "    \"graph_vertices\": %llu,\n",
+               static_cast<unsigned long long>(num_vertices));
+  std::fprintf(f, "    \"graph_edges\": %llu\n", static_cast<unsigned long long>(num_edges));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"results\": {\n");
+  std::fprintf(f, "    \"queries\": %llu,\n", static_cast<unsigned long long>(r.queries));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.seconds);
+  std::fprintf(f, "    \"qps\": %.1f,\n", r.qps);
+  std::fprintf(f, "    \"p50_ms\": %.4f,\n", r.p50_ms);
+  std::fprintf(f, "    \"p99_ms\": %.4f,\n", r.p99_ms);
+  std::fprintf(f, "    \"mean_ms\": %.4f,\n", r.mean_ms);
+  std::fprintf(f, "    \"cache_hit_rate\": %.4f,\n", r.cache_hit_rate);
+  std::fprintf(f, "    \"segments_stitched\": %llu,\n",
+               static_cast<unsigned long long>(r.segments_stitched));
+  std::fprintf(f, "    \"live_walks\": %llu,\n",
+               static_cast<unsigned long long>(r.live_walks));
+  std::fprintf(f, "    \"rejected\": %llu,\n", static_cast<unsigned long long>(r.rejected));
+  std::fprintf(f, "    \"peak_queue_depth\": %llu,\n",
+               static_cast<unsigned long long>(r.peak_queue_depth));
+  std::fprintf(f, "    \"index_segments\": %llu,\n",
+               static_cast<unsigned long long>(r.index_segments));
+  std::fprintf(f, "    \"index_bytes\": %llu,\n",
+               static_cast<unsigned long long>(r.index_bytes));
+  std::fprintf(f, "    \"index_build_seconds\": %.6f\n", r.index_build_seconds);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", config.out_path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  ServiceBenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      config.small = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      config.faults = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      config.queries = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      config.workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--segments") == 0 && i + 1 < argc) {
+      config.segments_per_vertex = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      config.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-p99-ms") == 0 && i + 1 < argc) {
+      config.max_p99_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      config.metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--small] [--faults] [--out FILE] [--queries N] "
+                   "[--workers N] [--segments N] [--cache N] [--max-p99-ms X] "
+                   "[--metrics-out FILE]\n");
+      return 2;
+    }
+  }
+
+  const vertex_id_t num_vertices = config.small ? 4000 : 30000;
+  const uint64_t users = config.small ? 2000 : 20000;
+  const uint64_t total_queries =
+      config.queries > 0 ? config.queries : (config.small ? 2000 : 20000);
+  const double theta = 0.99;
+  auto edges = GenerateTruncatedPowerLaw(num_vertices, 2.0, 4, 100, kGraphSeed);
+  auto num_edges = static_cast<edge_index_t>(edges.edges.size());
+
+  FaultPolicy policy;
+  policy.drop = 0.02;
+  policy.delay = 0.02;
+  policy.duplicate = 0.01;
+  policy.reorder = true;
+  FaultInjector injector(policy);
+
+  WalkServiceOptions opts;
+  opts.seed = kRunSeed;
+  opts.segments_per_vertex = config.segments_per_vertex;
+  opts.segment_cap = 16;
+  opts.cache_capacity = config.cache_capacity;
+  opts.max_batch = 64;
+  opts.max_queue_depth = 256;
+  opts.engine.workers_per_node = config.workers;
+  if (config.faults) {
+    // Faults exercise the reliability protocol inside the live-walk engine
+    // runs; answers must come out identical anyway (the soak leg in CI
+    // relies on the service's determinism contract holding under faults).
+    opts.engine.fault_injector = &injector;
+  }
+  WalkService<EmptyEdgeData> service(Csr<EmptyEdgeData>::FromEdgeList(edges), opts);
+
+  std::printf("service bench: %llu vertices, %llu edges, %llu users, %llu queries%s%s\n",
+              static_cast<unsigned long long>(num_vertices),
+              static_cast<unsigned long long>(num_edges),
+              static_cast<unsigned long long>(users),
+              static_cast<unsigned long long>(total_queries),
+              config.small ? " [small]" : "", config.faults ? " [faults]" : "");
+  PrintRule();
+
+  service.BuildIndex();
+  std::printf("index: %llu segments, %.2f MiB, built in %.3fs\n",
+              static_cast<unsigned long long>(service.index().num_segments()),
+              static_cast<double>(service.index().PayloadBytes()) / (1024.0 * 1024.0),
+              service.index_build_seconds());
+
+  // Closed-loop drive: top the queue up, drain one batch, repeat.
+  ZipfSampler zipf(users, theta);
+  CounterRng traffic_rng(kRunSeed ^ 0x5a5a5a5aULL);
+  uint64_t issued = 0;
+  uint64_t served = 0;
+  Timer wall;
+  while (served < total_queries) {
+    while (issued < total_queries) {
+      uint64_t user = zipf.Sample(traffic_rng);
+      ServiceQuery q;
+      if (traffic_rng.Next() % 10 == 0) {
+        q.kind = QueryKind::kContext;
+        q.count = 10;
+      } else {
+        q.kind = QueryKind::kPpr;
+        q.count = 32;
+      }
+      q.vertex = static_cast<vertex_id_t>(Mix64(user) % num_vertices);
+      if (!service.Submit(q)) {
+        break;  // backpressure: drain before issuing more
+      }
+      issued += 1;
+    }
+    served += service.ProcessBatch().size();
+  }
+  double seconds = wall.Seconds();
+
+  const ServiceCounters& counters = service.counters();
+  const obs::LatencyHistogram& lat = service.latency();
+  BenchResults r;
+  r.queries = counters.served;
+  r.seconds = seconds;
+  r.qps = static_cast<double>(counters.served) / seconds;
+  r.p50_ms = static_cast<double>(lat.PercentileNanos(0.50)) / 1e6;
+  r.p99_ms = static_cast<double>(lat.PercentileNanos(0.99)) / 1e6;
+  r.mean_ms = lat.MeanNanos() / 1e6;
+  uint64_t lookups = service.cache().hits() + service.cache().misses();
+  r.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(service.cache().hits()) / static_cast<double>(lookups);
+  r.segments_stitched = counters.segments_stitched;
+  r.live_walks = counters.live_walks;
+  r.rejected = counters.rejected;
+  r.peak_queue_depth = counters.peak_queue_depth;
+  r.index_segments = service.index().num_segments();
+  r.index_bytes = service.index().PayloadBytes();
+  r.index_build_seconds = service.index_build_seconds();
+
+  std::printf("%12s %10s %10s %10s %10s %10s\n", "queries", "qps", "p50(ms)", "p99(ms)",
+              "hit rate", "live");
+  PrintRule();
+  std::printf("%12llu %10.1f %10.3f %10.3f %10.3f %10llu\n",
+              static_cast<unsigned long long>(r.queries), r.qps, r.p50_ms, r.p99_ms,
+              r.cache_hit_rate, static_cast<unsigned long long>(r.live_walks));
+
+  WriteJson(config, r, num_vertices, num_edges, users, theta);
+  if (!config.metrics_path.empty()) {
+    obs::MetricsRegistry metrics;
+    service.ExportMetrics(metrics);
+    WriteTextFile(config.metrics_path, metrics.ToJson(), "metrics snapshot");
+  }
+  if (config.max_p99_ms > 0.0 && r.p99_ms > config.max_p99_ms) {
+    std::fprintf(stderr, "FAIL: p99 %.3f ms exceeds the --max-p99-ms gate %.3f ms\n",
+                 r.p99_ms, config.max_p99_ms);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace knightking
+
+int main(int argc, char** argv) { return knightking::bench::Main(argc, argv); }

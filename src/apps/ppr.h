@@ -9,12 +9,16 @@
 #ifndef SRC_APPS_PPR_H_
 #define SRC_APPS_PPR_H_
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <span>
 #include <vector>
 
 #include "src/engine/transition.h"
 #include "src/engine/walker.h"
+#include "src/graph/csr.h"
+#include "src/graph/edge.h"
 #include "src/util/types.h"
 
 namespace knightking {
@@ -45,6 +49,88 @@ inline WalkerSpec<> PprWalkers(walker_id_t num_walkers, const PprParams& params)
 // order; iterate-and-print is reproducible across runs and platforms.
 std::map<vertex_id_t, double> EstimatePprScores(
     std::span<const std::vector<vertex_id_t>> paths, vertex_id_t source);
+
+// Exact expected-visit-count vector of the PPR walk started at `source`:
+// c = e_s + d * c * P, with d = 1 - terminate_prob and P the static-weight
+// transition matrix (dead-end rows are zero — the walk just stops there, the
+// same convention the engine applies when the sampler has no mass). c_u is
+// the expected number of arrivals at u per walk; sum(c) is the expected walk
+// length. Plain dense power iteration — a test/serving baseline, not a solver
+// for web-scale graphs. Iterates until the L1 delta drops below `tol` (the
+// geometric decay guarantees convergence for terminate_prob > 0).
+template <typename EdgeData>
+std::vector<double> ExactPprVisits(const Csr<EdgeData>& graph, vertex_id_t source,
+                                   double terminate_prob, double tol = 1e-12) {
+  size_t n = graph.num_vertices();
+  double d = 1.0 - terminate_prob;
+  std::vector<double> c(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  c[source] = 1.0;
+  // Row sums of the static weights, reused every sweep.
+  std::vector<double> wsum(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    for (const auto& e : graph.Neighbors(static_cast<vertex_id_t>(v))) {
+      wsum[v] += static_cast<double>(StaticWeight(e.data));
+    }
+  }
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[source] = 1.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (c[v] == 0.0 || wsum[v] <= 0.0) {
+        continue;
+      }
+      double out = d * c[v] / wsum[v];
+      for (const auto& e : graph.Neighbors(static_cast<vertex_id_t>(v))) {
+        next[e.neighbor] += out * static_cast<double>(StaticWeight(e.data));
+      }
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      delta += std::abs(next[v] - c[v]);
+    }
+    c.swap(next);
+    if (delta < tol) {
+      break;
+    }
+  }
+  return c;
+}
+
+// Exact PPR score vector (normalized expected visit frequencies) — the law
+// EstimatePprScores converges to as the number of walks grows.
+template <typename EdgeData>
+std::vector<double> ExactPprScores(const Csr<EdgeData>& graph, vertex_id_t source,
+                                   double terminate_prob) {
+  std::vector<double> c = ExactPprVisits(graph, source, terminate_prob);
+  double total = 0.0;
+  for (double v : c) {
+    total += v;
+  }
+  if (total > 0.0) {
+    for (double& v : c) {
+      v /= total;
+    }
+  }
+  return c;
+}
+
+// Exact distribution of the walk's *endpoint*: a walk ends at u when the
+// arrival coin stops it (prob terminate_prob) or u is a dead end and the
+// coin said continue. One endpoint per walk makes this the right law for
+// chi-square tests on independent walks (visit counts within one walk are
+// correlated; endpoints across walks are iid).
+template <typename EdgeData>
+std::vector<double> ExactPprEndpointWeights(const Csr<EdgeData>& graph, vertex_id_t source,
+                                            double terminate_prob) {
+  std::vector<double> c = ExactPprVisits(graph, source, terminate_prob);
+  double d = 1.0 - terminate_prob;
+  for (size_t v = 0; v < c.size(); ++v) {
+    bool dead_end = graph.OutDegree(static_cast<vertex_id_t>(v)) == 0;
+    c[v] *= terminate_prob + (dead_end ? d : 0.0);
+  }
+  return c;
+}
 
 }  // namespace knightking
 

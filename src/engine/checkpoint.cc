@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace knightking {
 
 namespace {
@@ -139,11 +144,58 @@ bool ReadCheckpointHeader(BinaryFileReader& r, CheckpointHeader* h) {
          r.Read(&h->inflight_bytes) && r.Read(&h->pathentry_bytes);
 }
 
+namespace {
+
+// Pushes the tmp file's bytes to stable storage before the rename publishes
+// it: rename-then-crash must never expose a file whose data blocks are still
+// dirty in the page cache (ROADMAP item 6). No-op on platforms without fsync.
+bool SyncFile(const std::string& path) {
+#ifndef _WIN32
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+// Best-effort fsync of the directory holding `path`, so the rename's
+// directory-entry update is durable too. Failures are ignored: some
+// filesystems reject directory fsync, and the file data is already synced.
+void SyncParentDir(const std::string& path) {
+#ifndef _WIN32
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) {
+    dir = "/";
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
 bool CommitFile(const std::string& tmp_path, const std::string& final_path) {
+  if (!SyncFile(tmp_path)) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
   if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return false;
   }
+  SyncParentDir(final_path);
   return true;
 }
 

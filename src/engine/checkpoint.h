@@ -152,8 +152,10 @@ void WriteCheckpointHeader(BinaryFileWriter& w, const CheckpointHeader& h);
 // False on short read, bad magic, or unsupported version.
 bool ReadCheckpointHeader(BinaryFileReader& r, CheckpointHeader* h);
 
-// Atomically replaces `final_path` with `tmp_path` (rename; removes the tmp
-// file on failure so aborted checkpoints leave no debris).
+// Atomically replaces `final_path` with `tmp_path`: fsyncs the tmp file,
+// renames it over the target, then best-effort fsyncs the directory, so a
+// committed snapshot survives host crashes, not just process crashes. Removes
+// the tmp file on failure so aborted checkpoints leave no debris.
 bool CommitFile(const std::string& tmp_path, const std::string& final_path);
 
 // Type-agnostic summary of a snapshot file (kk-ckpt, tests). Record counts

@@ -105,6 +105,14 @@ struct WalkerSpec {
   // Start vertex of walker i. nullptr => paper default: (i mod |V|).
   std::function<vertex_id_t(walker_id_t id, Rng& rng)> start_vertex;
 
+  // RNG stream id of walker i. nullptr => paper default: stream i. Overriding
+  // this makes a walker's randomness a pure function of caller-chosen content
+  // (the serving layer keys streams on query content so a response never
+  // depends on which other queries shared its batch). Must return a value
+  // below kDeployStream; distinct walkers may intentionally share a stream
+  // (two identical queries must produce identical walks).
+  std::function<uint64_t(walker_id_t id)> rng_stream;
+
   // Custom state initialization (e.g. Meta-path scheme assignment).
   std::function<void(WalkerT& walker)> init_state;
 

@@ -147,6 +147,13 @@ struct WalkEngineOptions {
   // node crashes; see src/engine/checkpoint.h and docs/TESTING.md.
   uint64_t checkpoint_every = 0;
   std::string checkpoint_path;
+  // Long-lived ("run forever") mode: keep the static sampler and the Pd
+  // envelope arrays across Runs instead of rebuilding them per Run. Only
+  // valid when every Run uses the same static_comp / dynamic bound callbacks
+  // (the serving layer replays the same transition for every batch); walker
+  // state is still reset per Run. Off by default: batch callers may change
+  // the transition between Runs.
+  bool reuse_static_state = false;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -771,6 +778,26 @@ class WalkEngine {
   // chunks; the transition's bound callbacks must be pure (they are: the
   // apps' bounds are closed-form in the degree).
   void Prepare() {
+    if (!options_.reuse_static_state || !static_prepared_) {
+      PrepareStatic();
+      static_prepared_ = true;
+    }
+    for (auto& node : nodes_) {
+      node->active.clear();
+      node->next_active.clear();
+      node->parked.clear();
+      node->pending.clear();
+      node->in_flight.clear();
+      node->path_log.clear();
+      node->stats = SamplingStats{};
+      node->obs.Reset();
+      node->requery_out.resize(options_.num_nodes);
+    }
+    ack_out_.resize(options_.num_nodes);
+    retransmit_out_.resize(options_.num_nodes);
+  }
+
+  void PrepareStatic() {
     ThreadPool* pool = PreparePool();
     sampler_.Build(graph_, options_.sampler_kind, transition_->static_comp, pool);
     upper_.clear();
@@ -793,19 +820,6 @@ class WalkEngine {
         });
       }
     }
-    for (auto& node : nodes_) {
-      node->active.clear();
-      node->next_active.clear();
-      node->parked.clear();
-      node->pending.clear();
-      node->in_flight.clear();
-      node->path_log.clear();
-      node->stats = SamplingStats{};
-      node->obs.Reset();
-      node->requery_out.resize(options_.num_nodes);
-    }
-    ack_out_.resize(options_.num_nodes);
-    retransmit_out_.resize(options_.num_nodes);
   }
 
   void DeployWalkers() {
@@ -825,7 +839,9 @@ class WalkEngine {
                   ? walker_spec_->start_vertex(i, deploy_rng)
                   : static_cast<vertex_id_t>(i % num_v);
       KK_CHECK(w.cur < num_v);
-      w.rng.SeedStream(options_.seed, i);
+      uint64_t stream = walker_spec_->rng_stream ? walker_spec_->rng_stream(i) : i;
+      KK_CHECK(stream < kDeployStream);
+      w.rng.SeedStream(options_.seed, stream);
       if (walker_spec_->init_state) {
         walker_spec_->init_state(w);
       }
@@ -1672,6 +1688,9 @@ class WalkEngine {
   std::vector<std::vector<AckMsg>> ack_out_;
   std::vector<std::vector<WalkerT>> retransmit_out_;
   StaticSamplerSet<EdgeData> sampler_;
+  // True once PrepareStatic has run; with options_.reuse_static_state set,
+  // later Runs skip the sampler/envelope rebuild (serving hot path).
+  bool static_prepared_ = false;
   std::vector<real_t> upper_;
   std::vector<real_t> lower_;
   std::vector<uint64_t> active_history_;

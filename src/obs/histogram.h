@@ -1,0 +1,106 @@
+// Log-bucketed latency histogram for the serving layer.
+//
+// Fixed log2 bucket layout (sub-microsecond to ~18 hours in nanoseconds)
+// keeps Record() allocation-free and O(1), and makes two histograms over the
+// same samples byte-identical regardless of arrival order — percentiles are
+// a pure function of the recorded multiset, which the serving determinism
+// tests rely on. Percentile() answers with the upper edge of the bucket
+// containing the requested rank (a <= 2x overestimate by construction),
+// which is the standard contract for log-bucketed p99s.
+#ifndef SRC_OBS_HISTOGRAM_H_
+#define SRC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace knightking {
+namespace obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t nanos) {
+    // Bucket b holds values with bit_width b: [2^(b-1), 2^b). Zero lands in
+    // bucket 0.
+    size_t b = nanos == 0 ? 0 : static_cast<size_t>(std::bit_width(nanos)) - 1;
+    buckets_[b] += 1;
+    count_ += 1;
+    sum_ += nanos;
+    if (nanos < min_ || count_ == 1) {
+      min_ = nanos;
+    }
+    if (nanos > max_) {
+      max_ = nanos;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  double MeanNanos() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value (in nanos) at quantile q in [0, 1]: the upper edge of the bucket
+  // holding the ceil(q * count)-th smallest sample, clamped to the observed
+  // max. 0 when empty.
+  uint64_t PercentileNanos(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    if (q < 0.0) {
+      q = 0.0;
+    }
+    if (q > 1.0) {
+      q = 1.0;
+    }
+    auto rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank == 0) {
+      rank = 1;
+    }
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) {
+        uint64_t upper = b >= 63 ? ~uint64_t{0} : (uint64_t{1} << (b + 1)) - 1;
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() { *this = LatencyHistogram{}; }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace obs
+}  // namespace knightking
+
+#endif  // SRC_OBS_HISTOGRAM_H_

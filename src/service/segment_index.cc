@@ -1,0 +1,167 @@
+#include "src/service/segment_index.h"
+
+#include <cstdio>
+
+#include "src/engine/checkpoint.h"
+
+namespace knightking {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+}
+
+}  // namespace
+
+SegmentIndex SegmentIndex::FromParts(SegmentIndexParams params, vertex_id_t num_vertices,
+                                     std::vector<uint64_t> offsets,
+                                     std::vector<vertex_id_t> vertices,
+                                     std::vector<uint8_t> terminated) {
+  uint64_t num_segments =
+      static_cast<uint64_t>(num_vertices) * params.segments_per_vertex;
+  KK_CHECK(offsets.size() == num_segments + 1);
+  KK_CHECK(terminated.size() == num_segments);
+  KK_CHECK(offsets.empty() || (offsets.front() == 0 && offsets.back() == vertices.size()));
+  SegmentIndex idx;
+  idx.params_ = params;
+  idx.num_vertices_ = num_vertices;
+  idx.offsets_ = std::move(offsets);
+  idx.vertices_ = std::move(vertices);
+  idx.terminated_ = std::move(terminated);
+  return idx;
+}
+
+bool SegmentIndex::Save(const std::string& path, std::string* error) const {
+  std::string tmp = path + ".tmp";
+  {
+    BinaryFileWriter w(tmp);
+    w.Write(kSegmentIndexMagic);
+    w.Write(kSegmentIndexVersion);
+    w.Write(num_vertices_);
+    w.Write(params_.segments_per_vertex);
+    w.Write(params_.segment_cap);
+    w.Write(params_.seed);
+    w.Write(params_.terminate_prob);
+    w.WriteVec(offsets_);
+    w.WriteVec(vertices_);
+    w.WriteVec(terminated_);
+    w.Write(w.checksum());
+    if (!w.Close()) {
+      SetError(error, "write to " + tmp + " failed");
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (!CommitFile(tmp, path)) {
+    SetError(error, "cannot commit index to " + path);
+    return false;
+  }
+  return true;
+}
+
+bool SegmentIndex::Load(const std::string& path, SegmentIndex* out, std::string* error) {
+  BinaryFileReader r(path);
+  if (!r.ok()) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Read(&magic) || magic != kSegmentIndexMagic) {
+    SetError(error, "bad magic (not a segment index)");
+    return false;
+  }
+  if (!r.Read(&version) || version != kSegmentIndexVersion) {
+    SetError(error, "unsupported segment-index version");
+    return false;
+  }
+  SegmentIndex idx;
+  if (!r.Read(&idx.num_vertices_) || !r.Read(&idx.params_.segments_per_vertex) ||
+      !r.Read(&idx.params_.segment_cap) || !r.Read(&idx.params_.seed) ||
+      !r.Read(&idx.params_.terminate_prob)) {
+    SetError(error, "truncated header");
+    return false;
+  }
+  if (idx.params_.segment_cap == 0 ||
+      !(idx.params_.terminate_prob >= 0.0 && idx.params_.terminate_prob <= 1.0)) {
+    SetError(error, "implausible header parameters");
+    return false;
+  }
+  uint64_t num_segments =
+      static_cast<uint64_t>(idx.num_vertices_) * idx.params_.segments_per_vertex;
+  if (!r.ReadVec(&idx.offsets_)) {
+    SetError(error, "offsets section truncated or oversized");
+    return false;
+  }
+  if (idx.offsets_.size() != num_segments + 1) {
+    SetError(error, "offsets count does not match header dimensions");
+    return false;
+  }
+  if (!r.ReadVec(&idx.vertices_)) {
+    SetError(error, "vertices section truncated or oversized");
+    return false;
+  }
+  if (!r.ReadVec(&idx.terminated_)) {
+    SetError(error, "terminated section truncated or oversized");
+    return false;
+  }
+  if (idx.terminated_.size() != num_segments) {
+    SetError(error, "terminated count does not match header dimensions");
+    return false;
+  }
+  if (idx.offsets_.front() != 0 || idx.offsets_.back() != idx.vertices_.size()) {
+    SetError(error, "offsets do not span the vertices section");
+    return false;
+  }
+  uint64_t max_len = static_cast<uint64_t>(idx.params_.segment_cap) + 1;
+  for (size_t s = 0; s + 1 < idx.offsets_.size(); ++s) {
+    if (idx.offsets_[s + 1] < idx.offsets_[s]) {
+      SetError(error, "offsets not monotonically non-decreasing");
+      return false;
+    }
+    uint64_t len = idx.offsets_[s + 1] - idx.offsets_[s];
+    if (len < 1 || len > max_len) {
+      SetError(error, "segment length outside [1, cap + 1]");
+      return false;
+    }
+    // Segment s belongs to vertex s / spv and must start there.
+    auto owner = static_cast<vertex_id_t>(s / idx.params_.segments_per_vertex);
+    if (idx.vertices_[static_cast<size_t>(idx.offsets_[s])] != owner) {
+      SetError(error, "segment does not start at its owning vertex");
+      return false;
+    }
+  }
+  for (vertex_id_t v : idx.vertices_) {
+    if (v >= idx.num_vertices_) {
+      SetError(error, "segment vertex id out of range");
+      return false;
+    }
+  }
+  for (uint8_t f : idx.terminated_) {
+    if (f > 1) {
+      SetError(error, "terminated flag not boolean");
+      return false;
+    }
+  }
+  uint64_t expected = r.checksum();
+  uint64_t stored = 0;
+  if (!r.Read(&stored)) {
+    SetError(error, "missing checksum trailer");
+    return false;
+  }
+  if (stored != expected) {
+    SetError(error, "checksum mismatch (corrupt index)");
+    return false;
+  }
+  if (r.remaining() != 0) {
+    SetError(error, "trailing garbage after checksum");
+    return false;
+  }
+  *out = std::move(idx);
+  return true;
+}
+
+}  // namespace knightking

@@ -1,0 +1,104 @@
+// Precomputed per-vertex walk-segment index (the PowerWalk idea).
+//
+// For every vertex the builder runs `segments_per_vertex` independent PPR
+// walk prefixes of at most `segment_cap` steps and stores them in one CSR
+// blob: segment s of vertex v is flat segment v * spv + s. A segment is
+// `terminated` when the walk genuinely ended inside it (termination coin or
+// dead end); otherwise it was truncated at the cap and a query must stitch a
+// continuation from the endpoint's own segments. Because the engine checks
+// max_steps *before* the arrival coin, a truncated segment's endpoint has a
+// pending coin — exactly the coin the continuation segment's deployment
+// plays — so stitched walks follow the PPR law exactly (docs/SERVING.md).
+//
+// Persistence reuses the hardened checkpoint writer/reader: magic + version
+// tagged, every declared count validated against the remaining file size
+// before any allocation, FNV-1a 64 checksum trailer, committed atomically
+// via tmp-file + fsync + rename.
+#ifndef SRC_SERVICE_SEGMENT_INDEX_H_
+#define SRC_SERVICE_SEGMENT_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+// "KKSEGX" — same tagging idiom as kCheckpointMagic.
+inline constexpr uint64_t kSegmentIndexMagic = 0x4b4b53454758ULL;
+inline constexpr uint32_t kSegmentIndexVersion = 1;
+
+struct SegmentIndexParams {
+  // Independent precomputed segments per vertex; 0 disables the index
+  // entirely (every walk runs live).
+  uint32_t segments_per_vertex = 4;
+  // Maximum steps per segment (so at most segment_cap + 1 vertices).
+  uint32_t segment_cap = 16;
+  // PPR per-arrival termination probability the segments were walked with.
+  double terminate_prob = 1.0 / 80.0;
+  // Master seed of the build engine. Serving derives its live-walk streams
+  // from a different master, so index and live randomness never correlate.
+  uint64_t seed = 1;
+};
+
+class SegmentIndex {
+ public:
+  // CSR accessors. Segments always contain at least their start vertex.
+  uint64_t num_segments() const { return terminated_.empty() ? 0 : terminated_.size(); }
+  bool empty() const { return num_segments() == 0; }
+  vertex_id_t num_vertices() const { return num_vertices_; }
+  const SegmentIndexParams& params() const { return params_; }
+
+  std::span<const vertex_id_t> Segment(vertex_id_t v, uint32_t s) const {
+    uint64_t idx = FlatIndex(v, s);
+    auto begin = static_cast<size_t>(offsets_[idx]);
+    auto end = static_cast<size_t>(offsets_[idx + 1]);
+    return {vertices_.data() + begin, end - begin};
+  }
+
+  // True when the walk genuinely ended inside segment (v, s); false means
+  // truncated at the cap with a pending arrival coin at the endpoint.
+  bool Terminated(vertex_id_t v, uint32_t s) const {
+    return terminated_[FlatIndex(v, s)] != 0;
+  }
+
+  uint64_t PayloadBytes() const {
+    return offsets_.size() * sizeof(uint64_t) + vertices_.size() * sizeof(vertex_id_t) +
+           terminated_.size() * sizeof(uint8_t);
+  }
+
+  // Assembles an index from builder output; validates CSR invariants.
+  static SegmentIndex FromParts(SegmentIndexParams params, vertex_id_t num_vertices,
+                                std::vector<uint64_t> offsets, std::vector<vertex_id_t> vertices,
+                                std::vector<uint8_t> terminated);
+
+  // Writes the index to `path` atomically (tmp + fsync + rename). False on
+  // any I/O failure; a failed save never clobbers an existing good file.
+  bool Save(const std::string& path, std::string* error) const;
+
+  // Loads and fully validates an index: magic, version, parameter sanity,
+  // CSR monotonicity, segment lengths within [1, cap + 1], every vertex id
+  // in range, every flag in {0, 1}, checksum trailer, no trailing garbage.
+  // Declared counts are size-checked before allocation (corrupt files must
+  // not cause multi-GB allocations). False with `error` set on violation.
+  static bool Load(const std::string& path, SegmentIndex* out, std::string* error);
+
+ private:
+  uint64_t FlatIndex(vertex_id_t v, uint32_t s) const {
+    KK_DCHECK(v < num_vertices_ && s < params_.segments_per_vertex);
+    return static_cast<uint64_t>(v) * params_.segments_per_vertex + s;
+  }
+
+  SegmentIndexParams params_;
+  vertex_id_t num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;     // num_segments + 1, offsets_[0] == 0
+  std::vector<vertex_id_t> vertices_; // concatenated segment vertices
+  std::vector<uint8_t> terminated_;   // one flag per segment
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SERVICE_SEGMENT_INDEX_H_

@@ -1,0 +1,80 @@
+#include "src/service/walk_service.h"
+
+#include <cstdio>
+
+namespace knightking {
+
+uint64_t QueryContentKey(const ServiceQuery& q) {
+  uint64_t h = HashCombine64(0x6b6b2d71756572ULL /* "kk-quer" */,
+                             static_cast<uint64_t>(q.kind));
+  h = HashCombine64(h, q.vertex);
+  return HashCombine64(h, q.count);
+}
+
+std::string ServiceResult::Canonical() const {
+  // %.17g round-trips every double exactly, so equal results are equal
+  // bytes on every platform.
+  char buf[64];
+  std::string out;
+  out += query.kind == QueryKind::kPpr ? "ppr" : "context";
+  std::snprintf(buf, sizeof(buf), " v=%u n=%u\n", query.vertex, query.count);
+  out += buf;
+  for (const auto& [v, s] : scores) {
+    std::snprintf(buf, sizeof(buf), "s %u %.17g\n", v, s);
+    out += buf;
+  }
+  for (const auto& [v, c] : endpoints) {
+    std::snprintf(buf, sizeof(buf), "e %u %u\n", v, c);
+    out += buf;
+  }
+  if (query.kind == QueryKind::kContext) {
+    out += "c";
+    for (vertex_id_t v : context) {
+      std::snprintf(buf, sizeof(buf), " %u", v);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+const ServiceResult* ResultCache::Get(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_ += 1;
+    return nullptr;
+  }
+  hits_ += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void ResultCache::Put(uint64_t key, ServiceResult result) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ == 0) {
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_ += 1;
+  }
+  lru_.emplace_front(key, std::move(result));
+  map_[key] = lru_.begin();
+}
+
+std::vector<uint64_t> ResultCache::KeysByRecency() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (const auto& [k, v] : lru_) {
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace knightking

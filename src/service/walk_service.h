@@ -1,0 +1,599 @@
+// WalkService: long-lived online query serving on top of WalkEngine.
+//
+// The batch engine answers "run N walks"; the service answers a *stream* of
+// per-user queries — a personalized-PageRank score vector for a source
+// vertex, or a node2vec/DeepWalk-style context sample around a vertex — the
+// PowerWalk serving model layered on KnightKing's walker engine:
+//
+//   * A precomputed per-vertex walk-segment index (SegmentIndex) supplies
+//     walk material; queries stitch segments online and only fall back to
+//     live engine walks when the index runs dry (ThunderRW-style batching
+//     folds all fallback walks of a batch into ONE shared engine run).
+//   * Admission is a bounded FIFO queue: Submit() refuses (backpressure)
+//     when the queue is full; ProcessBatch() drains up to max_batch queries
+//     into a shared serving pass.
+//   * Hot results live in a deterministic LRU keyed by content hashes
+//     derived from the service seed.
+//
+// Determinism contract (tested by tests/service_test.cc): a response is a
+// pure function of (service seed, index, query content). Stitching draws
+// come from a per-query CounterRng keyed on the query's content hash, and
+// live-walk RNG streams are content hashes too (WalkerSpec::rng_stream), so
+// neither batch composition, worker count, nor cache hits can change any
+// response byte. See docs/SERVING.md.
+#ifndef SRC_SERVICE_WALK_SERVICE_H_
+#define SRC_SERVICE_WALK_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/apps/ppr.h"
+#include "src/engine/walk_engine.h"
+#include "src/graph/csr.h"
+#include "src/obs/histogram.h"
+#include "src/obs/metrics_registry.h"
+#include "src/service/segment_index.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+enum class QueryKind : uint8_t {
+  kPpr = 0,      // Monte-Carlo PPR score vector for source `vertex`
+  kContext = 1,  // the next `count` vertices of one walk from `vertex`
+};
+
+struct ServiceQuery {
+  QueryKind kind = QueryKind::kPpr;
+  vertex_id_t vertex = 0;
+  // kPpr: number of walks backing the estimate. kContext: context size.
+  uint32_t count = 0;
+
+  friend bool operator==(const ServiceQuery&, const ServiceQuery&) = default;
+};
+
+// Content hash of a query — the identity under which it is cached and the
+// base of every random stream that serves it. Not seeded: two services with
+// different seeds derive different streams by combining their seed with it.
+uint64_t QueryContentKey(const ServiceQuery& q);
+
+struct ServiceResult {
+  ServiceQuery query;
+  // kPpr: normalized visit-frequency scores and raw endpoint counts, both
+  // sorted by vertex id (endpoints are one-per-walk and iid, which is what
+  // the statistical accuracy test consumes).
+  std::vector<std::pair<vertex_id_t, double>> scores;
+  std::vector<std::pair<vertex_id_t, uint32_t>> endpoints;
+  // kContext: up to `count` vertices following `vertex` on one walk (fewer
+  // when the walk terminates early — geometric-decay context).
+  std::vector<vertex_id_t> context;
+  // Serving provenance; NOT part of Canonical() (a cache hit must serialize
+  // identically to the miss that populated it).
+  bool from_cache = false;
+
+  // Byte-stable text serialization; the determinism tests compare response
+  // streams with string equality on this form.
+  std::string Canonical() const;
+};
+
+// Deterministic LRU over content-hash keys. Plain recency eviction — no
+// clocks, no randomized admission — so eviction order is a pure function of
+// the access sequence; the determinism test cross-checks hits/misses/
+// evictions against the exported metrics exactly.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  // nullptr on miss; touches the entry on hit.
+  const ServiceResult* Get(uint64_t key);
+
+  // Inserts or refreshes; evicts the least recently used entry when full.
+  void Put(uint64_t key, ServiceResult result);
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // Keys from most to least recently used (test introspection).
+  std::vector<uint64_t> KeysByRecency() const;
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<uint64_t, ServiceResult>> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, ServiceResult>>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+struct WalkServiceOptions {
+  // Master seed: every stitching draw, live-walk stream, and index-build
+  // seed derives from it.
+  uint64_t seed = 1;
+  // Index shape; segments_per_vertex == 0 serves everything live.
+  uint32_t segments_per_vertex = 4;
+  uint32_t segment_cap = 16;
+  // PPR per-arrival termination probability (index build AND live walks
+  // must agree, so it lives here, not per query).
+  double terminate_prob = 1.0 / 80.0;
+  // A walk consuming more than this many index segments falls back to a
+  // live engine walk for its remainder.
+  uint32_t max_stitches_per_walk = 64;
+  // Admission control: Submit() refuses beyond this depth.
+  size_t max_queue_depth = 1024;
+  // Queries drained per ProcessBatch() call.
+  size_t max_batch = 64;
+  // Result-cache entries; 0 disables caching.
+  size_t cache_capacity = 0;
+  // Engine topology/faults/determinism knobs. seed, collect_paths, and
+  // reuse_static_state are overridden by the service.
+  WalkEngineOptions engine;
+};
+
+// Aggregate serving counters (all deterministic given the query trace).
+struct ServiceCounters {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;  // backpressure refusals
+  uint64_t served = 0;
+  uint64_t ppr_queries = 0;
+  uint64_t context_queries = 0;
+  uint64_t batches = 0;
+  uint64_t peak_queue_depth = 0;
+  uint64_t segments_stitched = 0;
+  uint64_t live_walks = 0;
+  uint64_t live_walk_steps = 0;
+};
+
+template <typename EdgeData>
+class WalkService {
+ public:
+  using EngineT = WalkEngine<EdgeData>;
+
+  WalkService(Csr<EdgeData> graph, WalkServiceOptions options)
+      : options_(options), cache_(options.cache_capacity) {
+    KK_CHECK(options_.segment_cap >= 1);
+    KK_CHECK(options_.max_batch >= 1);
+    WalkEngineOptions eopts = options_.engine;
+    eopts.seed = options_.seed;
+    eopts.collect_paths = true;
+    eopts.reuse_static_state = true;  // one sampler build for the service lifetime
+    engine_ = std::make_unique<EngineT>(std::move(graph), eopts);
+  }
+
+  // --- Index lifecycle --------------------------------------------------
+
+  // Precomputes segments_per_vertex walk prefixes per vertex by running the
+  // service's own engine once (walker v*spv+s starts at v). The build uses a
+  // master seed derived from the service seed, so index randomness and
+  // live-serving randomness are unrelated streams.
+  void BuildIndex() {
+    uint32_t spv = options_.segments_per_vertex;
+    vertex_id_t num_v = engine_->graph().num_vertices();
+    if (spv == 0) {
+      index_ = SegmentIndex{};
+      return;
+    }
+    Timer timer;
+    engine_->set_seed(HashCombine64(options_.seed, kIndexSeedSalt));
+    WalkerSpec<> spec;
+    spec.num_walkers = static_cast<walker_id_t>(num_v) * spv;
+    spec.start_vertex = [spv](walker_id_t id, Rng&) {
+      return static_cast<vertex_id_t>(id / spv);
+    };
+    spec.max_steps = options_.segment_cap;
+    spec.terminate_prob = options_.terminate_prob;
+    engine_->Run(PprTransition<EdgeData>(), spec);
+    engine_->set_seed(options_.seed);
+    std::vector<std::vector<vertex_id_t>> paths = engine_->TakePaths();
+
+    uint64_t num_segments = static_cast<uint64_t>(num_v) * spv;
+    std::vector<uint64_t> offsets(num_segments + 1, 0);
+    std::vector<vertex_id_t> vertices;
+    std::vector<uint8_t> terminated(num_segments, 0);
+    for (uint64_t s = 0; s < num_segments; ++s) {
+      const auto& path = paths[s];
+      KK_CHECK(!path.empty());
+      offsets[s + 1] = offsets[s] + path.size();
+      vertices.insert(vertices.end(), path.begin(), path.end());
+      // max_steps preempts the arrival coin, so a full-length path means the
+      // walk was truncated (coin pending at the endpoint); anything shorter
+      // genuinely ended (coin or dead end).
+      terminated[s] = path.size() < static_cast<size_t>(options_.segment_cap) + 1 ? 1 : 0;
+    }
+    SegmentIndexParams params;
+    params.segments_per_vertex = spv;
+    params.segment_cap = options_.segment_cap;
+    params.terminate_prob = options_.terminate_prob;
+    params.seed = options_.seed;
+    index_ = SegmentIndex::FromParts(params, num_v, std::move(offsets), std::move(vertices),
+                                     std::move(terminated));
+    index_build_seconds_ = timer.Seconds();
+  }
+
+  bool SaveIndex(const std::string& path, std::string* error) const {
+    return index_.Save(path, error);
+  }
+
+  // Loads a previously saved index; refuses one whose shape or walk
+  // parameters disagree with this service (stitching with foreign-law
+  // segments would silently skew every answer).
+  bool LoadIndex(const std::string& path, std::string* error) {
+    SegmentIndex loaded;
+    if (!SegmentIndex::Load(path, &loaded, error)) {
+      return false;
+    }
+    if (loaded.num_vertices() != engine_->graph().num_vertices() ||
+        loaded.params().terminate_prob != options_.terminate_prob ||
+        loaded.params().seed != options_.seed) {
+      if (error != nullptr) {
+        *error = "index was built for a different graph, walk law, or seed";
+      }
+      return false;
+    }
+    options_.segments_per_vertex = loaded.params().segments_per_vertex;
+    options_.segment_cap = loaded.params().segment_cap;
+    index_ = std::move(loaded);
+    return true;
+  }
+
+  const SegmentIndex& index() const { return index_; }
+
+  // --- Query admission and serving --------------------------------------
+
+  // Enqueues a query; false = queue full (caller should back off).
+  bool Submit(const ServiceQuery& q) {
+    KK_CHECK(q.vertex < engine_->graph().num_vertices());
+    if (queue_.size() >= options_.max_queue_depth) {
+      counters_.rejected += 1;
+      return false;
+    }
+    counters_.submitted += 1;
+    queue_.push_back(Pending{q, Timer{}});
+    if (queue_.size() > counters_.peak_queue_depth) {
+      counters_.peak_queue_depth = queue_.size();
+    }
+    return true;
+  }
+
+  size_t queue_depth() const { return queue_.size(); }
+
+  // Drains up to max_batch queued queries and serves them in one shared
+  // pass: cache lookups first, then index stitching for every miss, then a
+  // single engine run covering ALL live-fallback walks of the batch.
+  // Results come back in submission order.
+  std::vector<ServiceResult> ProcessBatch() {
+    size_t n = std::min(queue_.size(), options_.max_batch);
+    if (n == 0) {
+      return {};
+    }
+    counters_.batches += 1;
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+
+    std::vector<ServiceResult> results(n);
+    std::vector<QueryWork> work;  // cache misses only
+    for (size_t i = 0; i < n; ++i) {
+      const ServiceQuery& q = batch[i].query;
+      uint64_t cache_key = HashCombine64(options_.seed, QueryContentKey(q));
+      if (options_.cache_capacity > 0) {
+        if (const ServiceResult* hit = cache_.Get(cache_key)) {
+          results[i] = *hit;
+          results[i].from_cache = true;
+          continue;
+        }
+      }
+      QueryWork qw;
+      qw.slot = i;
+      qw.query = q;
+      qw.cache_key = cache_key;
+      work.push_back(std::move(qw));
+    }
+
+    // Stitch every miss from the index; collect live-fallback cursors.
+    std::vector<LiveWalk> live;
+    for (size_t wi = 0; wi < work.size(); ++wi) {
+      StitchQuery(wi, work[wi], &live);
+    }
+
+    // One shared engine run finishes every pending walk of the batch.
+    if (!live.empty()) {
+      RunLiveWalks(&live, &work);
+    }
+
+    for (QueryWork& w : work) {
+      ServiceResult r = Finalize(w);
+      if (options_.cache_capacity > 0) {
+        cache_.Put(w.cache_key, r);
+      }
+      results[w.slot] = std::move(r);
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      counters_.served += 1;
+      if (batch[i].query.kind == QueryKind::kPpr) {
+        counters_.ppr_queries += 1;
+      } else {
+        counters_.context_queries += 1;
+      }
+      latency_.Record(static_cast<uint64_t>(batch[i].timer.Seconds() * 1e9));
+    }
+    return results;
+  }
+
+  // Convenience: submit one query and serve it immediately (tests, simple
+  // callers). KK_CHECKs admission — use Submit/ProcessBatch under load.
+  ServiceResult ServeOne(const ServiceQuery& q) {
+    KK_CHECK(Submit(q));
+    std::vector<ServiceResult> r = ProcessBatch();
+    KK_CHECK(r.size() == 1);
+    return std::move(r.front());
+  }
+
+  const ServiceCounters& counters() const { return counters_; }
+  const ResultCache& cache() const { return cache_; }
+  const obs::LatencyHistogram& latency() const { return latency_; }
+  const Csr<EdgeData>& graph() const { return engine_->graph(); }
+  double index_build_seconds() const { return index_build_seconds_; }
+
+  // Serving metrics in the kk-metrics schema. Counters and cache/queue/index
+  // state are stable (pure functions of the query trace); latency gauges are
+  // wall clock and therefore unstable.
+  void ExportMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const {
+    auto with = [&base](obs::Labels extra) {
+      extra.insert(extra.end(), base.begin(), base.end());
+      return extra;
+    };
+    out.AddCounter("service.queries_submitted", with({}), counters_.submitted);
+    out.AddCounter("service.queries_rejected", with({}), counters_.rejected);
+    out.AddCounter("service.queries_served", with({{"kind", "ppr"}}), counters_.ppr_queries);
+    out.AddCounter("service.queries_served", with({{"kind", "context"}}),
+                   counters_.context_queries);
+    out.AddCounter("service.batches", with({}), counters_.batches);
+    out.AddCounter("service.peak_queue_depth", with({}), counters_.peak_queue_depth);
+    out.AddCounter("service.queue_depth", with({}), queue_.size());
+    out.AddCounter("service.cache_hits", with({}), cache_.hits());
+    out.AddCounter("service.cache_misses", with({}), cache_.misses());
+    out.AddCounter("service.cache_evictions", with({}), cache_.evictions());
+    out.AddCounter("service.cache_entries", with({}), cache_.size());
+    out.AddCounter("service.segments_stitched", with({}), counters_.segments_stitched);
+    out.AddCounter("service.live_walks", with({}), counters_.live_walks);
+    out.AddCounter("service.live_walk_steps", with({}), counters_.live_walk_steps);
+    out.AddCounter("service.index_segments", with({}), index_.num_segments());
+    out.AddCounter("service.index_bytes", with({}), index_.PayloadBytes());
+    out.SetGauge("service.latency_p50_ms", with({}),
+                 static_cast<double>(latency_.PercentileNanos(0.50)) / 1e6, false);
+    out.SetGauge("service.latency_p99_ms", with({}),
+                 static_cast<double>(latency_.PercentileNanos(0.99)) / 1e6, false);
+    out.SetGauge("service.latency_mean_ms", with({}), latency_.MeanNanos() / 1e6, false);
+    out.SetGauge("service.index_build_seconds", with({}), index_build_seconds_, false);
+  }
+
+  void ExportEngineMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const {
+    engine_->ExportMetrics(out, base);
+  }
+
+ private:
+  static constexpr uint64_t kIndexSeedSalt = 0x6b6b2d696e646578ULL;  // "kk-index"
+  static constexpr uint64_t kLiveSalt = 0x6b6b2d6c697665ULL;         // "kk-live"
+  // WalkerSpec::rng_stream values must stay below kDeployStream (2^62 - 1).
+  static constexpr uint64_t kStreamMask = (uint64_t{1} << 61) - 1;
+
+  struct Pending {
+    ServiceQuery query;
+    Timer timer;
+  };
+
+  // One walk that ran out of index segments and needs a live remainder.
+  struct LiveWalk {
+    size_t work_idx = 0;       // into the batch's `work` vector
+    uint32_t walk_slot = 0;    // walk number within its query
+    vertex_id_t cur = 0;       // continuation start (pending arrival coin)
+    uint32_t cap = 0;          // context: remaining steps wanted; 0 = uncapped
+    bool stitched_any = false; // true: `cur` was already visited via a segment
+  };
+
+  struct QueryWork {
+    size_t slot = 0;  // position in the batch / results vector
+    ServiceQuery query;
+    uint64_t cache_key = 0;
+    // PPR accumulation (ordered: results serialize by vertex id).
+    std::map<vertex_id_t, uint32_t> visits;
+    std::map<vertex_id_t, uint32_t> endpoints;
+    uint64_t total_visits = 0;
+    // Context accumulation.
+    std::vector<vertex_id_t> context;
+  };
+
+  // Serves the index-stitching stage of one query; walks that exhaust the
+  // index (or exceed the stitch budget) are appended to `live` with their
+  // continuation cursor.
+  void StitchQuery(size_t work_idx, QueryWork& w, std::vector<LiveWalk>* live) {
+    const ServiceQuery& q = w.query;
+    uint64_t qkey = QueryContentKey(q);
+    // Per-query stitching randomness: a pure function of (seed, content).
+    CounterRng qrng(HashCombine64(options_.seed, qkey));
+    uint32_t spv = index_.empty() ? 0 : index_.params().segments_per_vertex;
+    // Round-robin-without-reuse segment selection: each vertex gets a random
+    // base offset, then consecutive consumptions take consecutive segments.
+    // No segment is consumed twice within one query, so its walks are
+    // mutually independent — the property the chi-square accuracy test
+    // needs. `used` is per query: queries never mutate shared index state,
+    // which is what keeps responses independent of batch composition.
+    std::map<vertex_id_t, uint32_t> base;
+    std::map<vertex_id_t, uint32_t> used;
+    auto next_segment = [&](vertex_id_t v) -> int64_t {
+      if (spv == 0) {
+        return -1;
+      }
+      uint32_t& u = used[v];
+      if (u >= spv) {
+        return -1;  // vertex dry for this query
+      }
+      auto [it, inserted] = base.try_emplace(v, 0);
+      if (inserted) {
+        it->second = static_cast<uint32_t>(qrng.Next() % spv);
+      }
+      uint32_t s = (it->second + u) % spv;
+      u += 1;
+      return static_cast<int64_t>(s);
+    };
+
+    uint32_t num_walks = q.kind == QueryKind::kPpr ? std::max(q.count, 1u) : 1u;
+    for (uint32_t walk = 0; walk < num_walks; ++walk) {
+      vertex_id_t cur = q.vertex;
+      // Steps still wanted (context only); PPR walks are uncapped (0).
+      uint32_t remaining = q.kind == QueryKind::kContext ? q.count : 0;
+      bool stitched_any = false;
+      bool finished = q.kind == QueryKind::kContext && remaining == 0;
+      for (uint32_t stitch = 0; !finished && stitch < options_.max_stitches_per_walk;
+           ++stitch) {
+        int64_t s = next_segment(cur);
+        if (s < 0) {
+          break;  // index dry here → live fallback
+        }
+        counters_.segments_stitched += 1;
+        auto seg = index_.Segment(cur, static_cast<uint32_t>(s));
+        bool terminated = index_.Terminated(cur, static_cast<uint32_t>(s));
+        if (q.kind == QueryKind::kPpr) {
+          // seg[0] is `cur`: the walk start on the first segment (count it),
+          // an already-counted endpoint on continuations (skip it).
+          size_t first = stitched_any ? 1 : 0;
+          for (size_t i = first; i < seg.size(); ++i) {
+            Visit(w, seg[i]);
+          }
+        } else {
+          // Context = vertices *after* the walk start; seg[0] is never new
+          // material (the query vertex on the first segment, a duplicate
+          // endpoint on continuations).
+          for (size_t i = 1; i < seg.size() && remaining > 0; ++i) {
+            w.context.push_back(seg[i]);
+            remaining -= 1;
+          }
+        }
+        stitched_any = true;
+        cur = seg.back();
+        if (terminated) {
+          if (q.kind == QueryKind::kPpr) {
+            Endpoint(w, cur);
+          }
+          finished = true;
+        } else if (q.kind == QueryKind::kContext && remaining == 0) {
+          finished = true;
+        }
+      }
+      if (!finished) {
+        live->push_back(LiveWalk{work_idx, walk, cur, remaining, stitched_any});
+      }
+    }
+  }
+
+  // Runs every pending live walk of the batch as ONE engine pass with
+  // shared supersteps. Each walker's RNG stream is a hash of (its query's
+  // content, its walk slot), so the walk is independent of which other
+  // queries happen to share the run.
+  void RunLiveWalks(std::vector<LiveWalk>* live, std::vector<QueryWork>* work) {
+    std::vector<uint64_t> streams(live->size());
+    std::vector<uint32_t> caps(live->size());
+    for (size_t i = 0; i < live->size(); ++i) {
+      const LiveWalk& lw = (*live)[i];
+      uint64_t qkey = QueryContentKey((*work)[lw.work_idx].query);
+      streams[i] =
+          HashCombine64(HashCombine64(kLiveSalt, qkey), lw.walk_slot) & kStreamMask;
+      caps[i] = lw.cap;
+    }
+    WalkerSpec<> spec;
+    spec.num_walkers = static_cast<walker_id_t>(live->size());
+    spec.start_vertex = [live](walker_id_t id, Rng&) {
+      return (*live)[static_cast<size_t>(id)].cur;
+    };
+    spec.rng_stream = [&streams](walker_id_t id) {
+      return streams[static_cast<size_t>(id)];
+    };
+    spec.max_steps = 0;
+    spec.terminate_prob = options_.terminate_prob;
+    spec.terminate_if = [&caps](const Walker<>& walker) {
+      uint32_t cap = caps[static_cast<size_t>(walker.id)];
+      return cap != 0 && walker.step >= cap;
+    };
+    engine_->Run(PprTransition<EdgeData>(), spec);
+    std::vector<std::vector<vertex_id_t>> paths = engine_->TakePaths();
+    KK_CHECK(paths.size() == live->size());
+
+    for (size_t i = 0; i < live->size(); ++i) {
+      const LiveWalk& lw = (*live)[i];
+      QueryWork& w = (*work)[lw.work_idx];
+      const auto& path = paths[i];
+      KK_CHECK(!path.empty() && path.front() == lw.cur);
+      counters_.live_walks += 1;
+      counters_.live_walk_steps += path.size() - 1;
+      if (w.query.kind == QueryKind::kPpr) {
+        // path[0] == cur: already counted when this walk stitched at least
+        // one segment; a never-stitched walk starts fresh here and its
+        // start vertex has not been visited yet.
+        size_t first = lw.stitched_any ? 1 : 0;
+        for (size_t p = first; p < path.size(); ++p) {
+          Visit(w, path[p]);
+        }
+        Endpoint(w, path.back());
+      } else {
+        for (size_t p = 1; p < path.size(); ++p) {
+          w.context.push_back(path[p]);
+        }
+      }
+    }
+  }
+
+  void Visit(QueryWork& w, vertex_id_t v) {
+    w.visits[v] += 1;
+    w.total_visits += 1;
+  }
+
+  void Endpoint(QueryWork& w, vertex_id_t v) { w.endpoints[v] += 1; }
+
+  ServiceResult Finalize(QueryWork& w) {
+    ServiceResult r;
+    r.query = w.query;
+    if (w.query.kind == QueryKind::kPpr) {
+      r.scores.reserve(w.visits.size());
+      for (const auto& [v, c] : w.visits) {
+        r.scores.emplace_back(
+            v, static_cast<double>(c) / static_cast<double>(w.total_visits));
+      }
+      r.endpoints.assign(w.endpoints.begin(), w.endpoints.end());
+    } else {
+      r.context = std::move(w.context);
+      if (r.context.size() > w.query.count) {
+        r.context.resize(w.query.count);
+      }
+    }
+    return r;
+  }
+
+  WalkServiceOptions options_;
+  std::unique_ptr<EngineT> engine_;
+  SegmentIndex index_;
+  std::deque<Pending> queue_;
+  ResultCache cache_;
+  ServiceCounters counters_;
+  obs::LatencyHistogram latency_;
+  double index_build_seconds_ = 0.0;
+  // Base pointer of the current batch's work vector (StitchQuery needs its
+  // own index within it for LiveWalk bookkeeping).
+  QueryWork* work_base_ = nullptr;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SERVICE_WALK_SERVICE_H_

@@ -1,0 +1,168 @@
+// Statistical accuracy of WalkService answers against the exact PPR law.
+//
+// The serving layer's correctness claim is stronger than "approximately
+// right": because a truncated segment's endpoint carries a *pending*
+// arrival coin — exactly the coin the continuation segment's deployment
+// plays — stitched walks follow the PPR law EXACTLY, for any
+// segments-per-vertex. And because a query consumes each vertex's segments
+// round-robin without reuse, its walks are mutually independent, so walk
+// *endpoints* are iid draws from the exact endpoint law — a valid
+// chi-square input (visit counts within one walk are correlated; endpoints
+// across walks are not).
+//
+// Tested here with the stat_check library:
+//   * endpoint counts vs the exact power-iteration endpoint law, for
+//     index-stitched serving at several segments-per-vertex settings;
+//   * the live-walk fallback (spv = 0) against the SAME law — index-stitched
+//     and live answers are draws from one distribution;
+//   * L1 convergence of the visit-frequency score vector to the exact
+//     power-iteration scores as walks-per-query grows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/ppr.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/service/walk_service.h"
+#include "src/testing/stat_check.h"
+
+namespace knightking {
+namespace {
+
+constexpr uint64_t kSeed = 2718;
+constexpr double kTerminateProb = 0.2;  // E[len] = 4: fast, short walks
+constexpr vertex_id_t kSource = 3;
+
+size_t WorkersFromEnv() {
+  const char* env = std::getenv("KK_SIM_WORKERS");
+  return env != nullptr ? static_cast<size_t>(std::atoi(env)) : 0;
+}
+
+Csr<EmptyEdgeData> AccuracyGraph() {
+  // Small and well-connected: every vertex keeps enough probability mass
+  // that the chi-square expected-count pooling retains most cells.
+  return Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(30, 5, 11));
+}
+
+WalkServiceOptions ServiceOptions(uint32_t spv) {
+  WalkServiceOptions opts;
+  opts.seed = kSeed;
+  opts.segments_per_vertex = spv;
+  opts.segment_cap = 3;  // short cap forces real multi-segment stitching
+  opts.terminate_prob = kTerminateProb;
+  opts.max_batch = 8;
+  opts.engine.workers_per_node = WorkersFromEnv();
+  return opts;
+}
+
+// Endpoint counts of one PPR query with `walks` walks, as a dense vector.
+std::vector<uint64_t> EndpointCounts(WalkService<EmptyEdgeData>& service,
+                                     uint32_t walks) {
+  ServiceResult r =
+      service.ServeOne(ServiceQuery{QueryKind::kPpr, kSource, walks});
+  std::vector<uint64_t> counts(service.graph().num_vertices(), 0);
+  uint64_t total = 0;
+  for (const auto& [v, c] : r.endpoints) {
+    counts[v] += c;
+    total += c;
+  }
+  EXPECT_EQ(total, walks);  // exactly one endpoint per walk
+  return counts;
+}
+
+TEST(ServiceAccuracyTest, StitchedEndpointsFollowExactLawAcrossSpv) {
+  auto graph = AccuracyGraph();
+  std::vector<double> law =
+      ExactPprEndpointWeights(graph, kSource, kTerminateProb);
+  // Family of three chi-square tests (spv 1, 4, 16) at family alpha 1e-3.
+  const uint32_t spvs[] = {1, 4, 16};
+  double alpha = BonferroniAlpha(1e-3, 3);
+  for (uint32_t spv : spvs) {
+    WalkService<EmptyEdgeData> service(AccuracyGraph(), ServiceOptions(spv));
+    service.BuildIndex();
+    std::vector<uint64_t> counts = EndpointCounts(service, 20000);
+    GofResult gof = ChiSquareGof(counts, law);
+    EXPECT_GT(gof.p_value, alpha)
+        << "spv=" << spv << " chi2=" << gof.stat << " dof=" << gof.dof;
+    // The index must actually have been exercised (not an all-live run).
+    EXPECT_GT(service.counters().segments_stitched, 0u);
+  }
+}
+
+TEST(ServiceAccuracyTest, LiveFallbackFollowsTheSameLaw) {
+  auto graph = AccuracyGraph();
+  std::vector<double> law =
+      ExactPprEndpointWeights(graph, kSource, kTerminateProb);
+  // spv = 0: every walk is a live engine walk — same exact law, so stitched
+  // and live answers are draws from one distribution.
+  WalkService<EmptyEdgeData> service(AccuracyGraph(), ServiceOptions(0));
+  service.BuildIndex();
+  std::vector<uint64_t> counts = EndpointCounts(service, 20000);
+  EXPECT_EQ(service.counters().segments_stitched, 0u);
+  EXPECT_EQ(service.counters().live_walks, 20000u);
+  GofResult gof = ChiSquareGof(counts, law);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.stat << " dof=" << gof.dof;
+}
+
+double ScoreL1Error(WalkService<EmptyEdgeData>& service, uint32_t walks,
+                    const std::vector<double>& exact) {
+  ServiceResult r =
+      service.ServeOne(ServiceQuery{QueryKind::kPpr, kSource, walks});
+  std::vector<double> est(exact.size(), 0.0);
+  for (const auto& [v, s] : r.scores) {
+    est[v] = s;
+  }
+  double err = 0.0;
+  for (size_t v = 0; v < exact.size(); ++v) {
+    err += std::abs(est[v] - exact[v]);
+  }
+  return err;
+}
+
+TEST(ServiceAccuracyTest, ScoresConvergeToPowerIterationBaseline) {
+  auto graph = AccuracyGraph();
+  std::vector<double> exact = ExactPprScores(graph, kSource, kTerminateProb);
+  WalkService<EmptyEdgeData> service(AccuracyGraph(), ServiceOptions(8));
+  service.BuildIndex();
+  double coarse = ScoreL1Error(service, 150, exact);
+  double fine = ScoreL1Error(service, 30000, exact);
+  // Monte-Carlo L1 error shrinks ~1/sqrt(walks): 200x the walks must beat
+  // the coarse estimate decisively, and land close in absolute terms.
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.05) << "stitched scores too far from power iteration";
+  EXPECT_GT(coarse, fine * 2.0) << "error did not shrink with walk count";
+}
+
+TEST(ServiceAccuracyTest, ExactBaselineSanity) {
+  auto graph = AccuracyGraph();
+  std::vector<double> scores = ExactPprScores(graph, kSource, kTerminateProb);
+  double sum = 0.0;
+  for (double s : scores) {
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The source dominates its own personalized ranking under a 0.2 restart.
+  for (size_t v = 0; v < scores.size(); ++v) {
+    if (v != kSource) {
+      EXPECT_GE(scores[kSource], scores[v]);
+    }
+  }
+  // Endpoint weights are a probability distribution too (every walk ends
+  // somewhere): visits * per-arrival stop mass sums to 1.
+  std::vector<double> endpoints =
+      ExactPprEndpointWeights(graph, kSource, kTerminateProb);
+  double esum = 0.0;
+  for (double e : endpoints) {
+    esum += e;
+  }
+  EXPECT_NEAR(esum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace knightking

@@ -1,0 +1,384 @@
+// WalkService determinism, caching, backpressure, and index-integrity tests.
+//
+// The serving determinism contract (docs/SERVING.md): a response is a pure
+// function of (service seed, index, query content). The matrix here replays
+// one query trace across worker counts 0/4 and cache on/off and requires the
+// concatenated canonical response streams to be byte-identical; the LRU's
+// hit/miss/eviction counters must match the exported obs metrics exactly.
+// Segment-index files get the same corruption matrix the checkpoint format
+// has: every mutation must fail cleanly at load, before any allocation blow-
+// up, leaving service state untouched.
+//
+// The CI deterministic-sim job re-runs this binary under TSan with
+// KK_SIM_WORKERS=4.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/obs/metrics_registry.h"
+#include "src/service/segment_index.h"
+#include "src/service/walk_service.h"
+#include "src/util/rng.h"
+#include "tools/kk-metrics/check.h"
+
+namespace knightking {
+namespace {
+
+constexpr uint64_t kSeed = 417;
+
+size_t WorkersFromEnv() {
+  const char* env = std::getenv("KK_SIM_WORKERS");
+  return env != nullptr ? static_cast<size_t>(std::atoi(env)) : 0;
+}
+
+std::string IndexPath(const std::string& tag) {
+  return testing::TempDir() + "kk_segidx_" + tag + ".bin";
+}
+
+Csr<EmptyEdgeData> TestGraph() {
+  return Csr<EmptyEdgeData>::FromEdgeList(GenerateTruncatedPowerLaw(200, 2.2, 2, 24, 7));
+}
+
+WalkServiceOptions BaseOptions(size_t workers, size_t cache_capacity) {
+  WalkServiceOptions opts;
+  opts.seed = kSeed;
+  opts.segments_per_vertex = 4;
+  opts.segment_cap = 8;
+  opts.terminate_prob = 0.15;  // short walks keep the test fast
+  opts.cache_capacity = cache_capacity;
+  opts.engine.workers_per_node = workers;
+  return opts;
+}
+
+// A fixed trace with deliberate repeats (cache hits) spanning both kinds.
+std::vector<ServiceQuery> FixedTrace(vertex_id_t num_v) {
+  std::vector<ServiceQuery> trace;
+  CounterRng rng(999);
+  for (int i = 0; i < 40; ++i) {
+    ServiceQuery q;
+    if (i % 4 == 3) {
+      q.kind = QueryKind::kContext;
+      q.count = 6;
+    } else {
+      q.kind = QueryKind::kPpr;
+      q.count = 20;
+    }
+    // A small vertex pool guarantees repeated queries in the trace.
+    q.vertex = static_cast<vertex_id_t>(rng.Next() % (num_v / 8));
+    trace.push_back(q);
+  }
+  return trace;
+}
+
+// Serves the whole trace (in submission order, batch by batch) and returns
+// the concatenated canonical response stream.
+std::string ServeTrace(WalkService<EmptyEdgeData>& service,
+                       const std::vector<ServiceQuery>& trace) {
+  std::string stream;
+  size_t next = 0;
+  while (next < trace.size() || service.queue_depth() > 0) {
+    while (next < trace.size() && service.Submit(trace[next])) {
+      ++next;
+    }
+    for (const ServiceResult& r : service.ProcessBatch()) {
+      stream += r.Canonical();
+    }
+  }
+  return stream;
+}
+
+TEST(ServiceDeterminismTest, ResponseStreamInvariantAcrossWorkersAndCache) {
+  auto trace = FixedTrace(200);
+  std::string reference;
+  for (size_t workers : {size_t{0}, size_t{4}}) {
+    for (size_t cache : {size_t{0}, size_t{16}}) {
+      WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(workers, cache));
+      service.BuildIndex();
+      std::string stream = ServeTrace(service, trace);
+      if (reference.empty()) {
+        reference = stream;
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(stream, reference)
+            << "response stream diverged at workers=" << workers << " cache=" << cache;
+      }
+    }
+  }
+}
+
+TEST(ServiceDeterminismTest, RepeatedIndexBuildsAreByteIdentical) {
+  std::string paths[2];
+  for (int i = 0; i < 2; ++i) {
+    WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+    service.BuildIndex();
+    paths[i] = IndexPath("rebuild_" + std::to_string(i));
+    std::string error;
+    ASSERT_TRUE(service.SaveIndex(paths[i], &error)) << error;
+  }
+  std::FILE* a = std::fopen(paths[0].c_str(), "rb");
+  std::FILE* b = std::fopen(paths[1].c_str(), "rb");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::string da, db;
+  int c;
+  while ((c = std::fgetc(a)) != EOF) {
+    da.push_back(static_cast<char>(c));
+  }
+  while ((c = std::fgetc(b)) != EOF) {
+    db.push_back(static_cast<char>(c));
+  }
+  std::fclose(a);
+  std::fclose(b);
+  ASSERT_FALSE(da.empty());
+  EXPECT_EQ(da, db);
+}
+
+TEST(ServiceDeterminismTest, SavedIndexRoundTripsThroughLoad) {
+  WalkService<EmptyEdgeData> built(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  built.BuildIndex();
+  std::string path = IndexPath("roundtrip");
+  std::string error;
+  ASSERT_TRUE(built.SaveIndex(path, &error)) << error;
+  auto trace = FixedTrace(200);
+  std::string from_build = ServeTrace(built, trace);
+
+  WalkService<EmptyEdgeData> loaded(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  ASSERT_TRUE(loaded.LoadIndex(path, &error)) << error;
+  EXPECT_EQ(ServeTrace(loaded, trace), from_build);
+}
+
+TEST(ServiceDeterminismTest, IdenticalQueriesShareRandomnessWithinABatch) {
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  ServiceQuery q{QueryKind::kPpr, 11, 25};
+  ASSERT_TRUE(service.Submit(q));
+  ASSERT_TRUE(service.Submit(q));
+  auto results = service.ProcessBatch();
+  ASSERT_EQ(results.size(), 2u);
+  // No cache: both are computed, and must still agree byte for byte.
+  EXPECT_EQ(results[0].Canonical(), results[1].Canonical());
+}
+
+uint64_t CounterValue(const obs::MetricsRegistry& reg, const std::string& name,
+                      const std::string& label_value = "") {
+  for (const obs::Metric* m : reg.Sorted()) {
+    if (m->name != name) {
+      continue;
+    }
+    if (!label_value.empty()) {
+      bool match = false;
+      for (const auto& [k, v] : m->labels) {
+        match |= v == label_value;
+      }
+      if (!match) {
+        continue;
+      }
+    }
+    return m->ivalue;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  return ~uint64_t{0};
+}
+
+TEST(ServiceCacheTest, LruEvictionOrderAndCountersMatchExportedMetrics) {
+  WalkServiceOptions opts = BaseOptions(WorkersFromEnv(), 2);  // capacity 2
+  WalkService<EmptyEdgeData> service(TestGraph(), opts);
+  service.BuildIndex();
+  ServiceQuery a{QueryKind::kPpr, 1, 10};
+  ServiceQuery b{QueryKind::kPpr, 2, 10};
+  ServiceQuery c{QueryKind::kPpr, 3, 10};
+
+  auto first_a = service.ServeOne(a);  // miss -> {a}
+  EXPECT_FALSE(first_a.from_cache);
+  service.ServeOne(b);                // miss -> {b, a}
+  auto hit_a = service.ServeOne(a);   // hit  -> {a, b}
+  EXPECT_TRUE(hit_a.from_cache);
+  EXPECT_EQ(hit_a.Canonical(), first_a.Canonical());
+  service.ServeOne(c);                // miss, evicts b -> {c, a}
+  auto miss_b = service.ServeOne(b);  // miss again (was evicted), evicts a
+  EXPECT_FALSE(miss_b.from_cache);
+
+  const ResultCache& cache = service.cache();
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  std::vector<uint64_t> expected_keys = {HashCombine64(kSeed, QueryContentKey(b)),
+                                         HashCombine64(kSeed, QueryContentKey(c))};
+  EXPECT_EQ(cache.KeysByRecency(), expected_keys);
+
+  obs::MetricsRegistry reg;
+  service.ExportMetrics(reg);
+  EXPECT_EQ(CounterValue(reg, "service.cache_hits"), cache.hits());
+  EXPECT_EQ(CounterValue(reg, "service.cache_misses"), cache.misses());
+  EXPECT_EQ(CounterValue(reg, "service.cache_evictions"), cache.evictions());
+  EXPECT_EQ(CounterValue(reg, "service.cache_entries"), 2u);
+  EXPECT_EQ(CounterValue(reg, "service.queries_served", "ppr"), 5u);
+  // The exported snapshot must satisfy the kk-metrics schema.
+  metrics::CheckResult check = metrics::CheckJsonText(reg.ToJson());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(ServiceBackpressureTest, BoundedQueueRefusesAndCounts) {
+  WalkServiceOptions opts = BaseOptions(WorkersFromEnv(), 0);
+  opts.max_queue_depth = 4;
+  opts.max_batch = 3;
+  WalkService<EmptyEdgeData> service(TestGraph(), opts);
+  service.BuildIndex();
+  ServiceQuery q{QueryKind::kPpr, 5, 10};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(service.Submit(q));
+  }
+  EXPECT_FALSE(service.Submit(q));
+  EXPECT_FALSE(service.Submit(q));
+  EXPECT_EQ(service.queue_depth(), 4u);
+  EXPECT_EQ(service.counters().rejected, 2u);
+  EXPECT_EQ(service.counters().peak_queue_depth, 4u);
+
+  EXPECT_EQ(service.ProcessBatch().size(), 3u);  // max_batch bounds the drain
+  EXPECT_EQ(service.queue_depth(), 1u);
+  EXPECT_TRUE(service.Submit(q));  // space again after the drain
+  EXPECT_EQ(service.ProcessBatch().size(), 2u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.counters().served, 5u);
+}
+
+TEST(ServiceQueryTest, ContextSampleIsBoundedAndStartsAtNeighbor) {
+  auto graph = TestGraph();
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  ServiceQuery q{QueryKind::kContext, 9, 6};
+  ServiceResult r = service.ServeOne(q);
+  ASSERT_LE(r.context.size(), 6u);
+  if (graph.OutDegree(9) > 0) {
+    ASSERT_FALSE(r.context.empty());
+    bool neighbor = false;
+    for (const auto& e : graph.Neighbors(9)) {
+      neighbor |= e.neighbor == r.context.front();
+    }
+    EXPECT_TRUE(neighbor) << "first context vertex must be a neighbor of the query vertex";
+  }
+  for (vertex_id_t v : r.context) {
+    EXPECT_LT(v, graph.num_vertices());
+  }
+}
+
+TEST(ServiceQueryTest, LiveOnlyServiceAnswersWithoutIndex) {
+  WalkServiceOptions opts = BaseOptions(WorkersFromEnv(), 0);
+  opts.segments_per_vertex = 0;  // no index: everything is a live walk
+  WalkService<EmptyEdgeData> service(TestGraph(), opts);
+  service.BuildIndex();
+  EXPECT_TRUE(service.index().empty());
+  ServiceResult r = service.ServeOne(ServiceQuery{QueryKind::kPpr, 3, 50});
+  EXPECT_EQ(service.counters().segments_stitched, 0u);
+  EXPECT_EQ(service.counters().live_walks, 50u);
+  uint32_t endpoint_total = 0;
+  for (const auto& [v, c] : r.endpoints) {
+    endpoint_total += c;
+  }
+  EXPECT_EQ(endpoint_total, 50u);  // exactly one endpoint per walk
+}
+
+// --- Segment-index corruption matrix ----------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string data;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    data.push_back(static_cast<char>(c));
+  }
+  std::fclose(f);
+  return data;
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(SegmentIndexCorruptionTest, EveryMutationFailsCleanly) {
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  std::string path = IndexPath("corrupt_src");
+  std::string error;
+  ASSERT_TRUE(service.SaveIndex(path, &error)) << error;
+  std::string valid = ReadAll(path);
+  ASSERT_GT(valid.size(), 64u);
+
+  // Sanity: the untouched file loads.
+  SegmentIndex ok;
+  ASSERT_TRUE(SegmentIndex::Load(path, &ok, &error)) << error;
+  ASSERT_GT(ok.num_segments(), 0u);
+
+  struct Mutation {
+    const char* name;
+    std::string data;
+  };
+  std::string bad_magic = valid;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+  // The offsets-section count (u64) sits right after the 40-byte header;
+  // 0xff bytes declare ~2^64 elements, which must be rejected before any
+  // allocation is attempted.
+  std::string huge_count = valid;
+  for (size_t i = 0; i < 8; ++i) {
+    huge_count[40 + i] = static_cast<char>(0xff);
+  }
+  std::string flipped = valid;
+  flipped[valid.size() / 2] = static_cast<char>(flipped[valid.size() / 2] ^ 0x5a);
+  const Mutation mutations[] = {
+      {"bad_magic", bad_magic},
+      {"truncated_header", valid.substr(0, 20)},
+      {"huge_declared_count", huge_count},
+      {"truncated_payload", valid.substr(0, valid.size() - 16)},
+      {"flipped_payload_byte", flipped},
+      {"trailing_garbage", valid + "extra"},
+      {"empty_file", ""},
+  };
+  for (const Mutation& m : mutations) {
+    std::string mutated_path = IndexPath(std::string("corrupt_") + m.name);
+    WriteAll(mutated_path, m.data);
+    SegmentIndex out;
+    std::string err;
+    EXPECT_FALSE(SegmentIndex::Load(mutated_path, &out, &err)) << m.name;
+    EXPECT_FALSE(err.empty()) << m.name;
+  }
+}
+
+TEST(SegmentIndexCorruptionTest, LoadRefusesForeignParameters) {
+  WalkService<EmptyEdgeData> built(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  built.BuildIndex();
+  std::string path = IndexPath("foreign");
+  std::string error;
+  ASSERT_TRUE(built.SaveIndex(path, &error)) << error;
+
+  // Different seed: the index's walk streams would not match this service's
+  // determinism contract.
+  WalkServiceOptions other = BaseOptions(WorkersFromEnv(), 0);
+  other.seed = kSeed + 1;
+  WalkService<EmptyEdgeData> different_seed(TestGraph(), other);
+  EXPECT_FALSE(different_seed.LoadIndex(path, &error));
+
+  // Different walk law.
+  WalkServiceOptions law = BaseOptions(WorkersFromEnv(), 0);
+  law.terminate_prob = 0.5;
+  WalkService<EmptyEdgeData> different_law(TestGraph(), law);
+  EXPECT_FALSE(different_law.LoadIndex(path, &error));
+
+  // Different graph size.
+  WalkService<EmptyEdgeData> different_graph(
+      Csr<EmptyEdgeData>::FromEdgeList(GenerateUniformDegree(64, 4, 3)),
+      BaseOptions(WorkersFromEnv(), 0));
+  EXPECT_FALSE(different_graph.LoadIndex(path, &error));
+}
+
+}  // namespace
+}  // namespace knightking

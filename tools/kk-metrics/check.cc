@@ -177,6 +177,58 @@ void CheckHotpath(const JsonValue& doc, CheckResult* r) {
   }
 }
 
+void CheckService(const JsonValue& doc, CheckResult* r) {
+  r->kind = "service";
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->IsObject()) {
+    Fail(r, "service: missing \"config\" object");
+    return;
+  }
+  if (!RequireBool(*config, "small", r, "config") ||
+      !RequireBool(*config, "faults", r, "config") ||
+      !RequireNumber(*config, "workers_per_node", r, "config") ||
+      !RequireNumber(*config, "segments_per_vertex", r, "config") ||
+      !RequireNumber(*config, "cache_capacity", r, "config") ||
+      !RequireNumber(*config, "users", r, "config") ||
+      !RequireNumber(*config, "zipf_theta", r, "config") ||
+      !RequireNumber(*config, "graph_vertices", r, "config") ||
+      !RequireNumber(*config, "graph_edges", r, "config")) {
+    return;
+  }
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->IsObject()) {
+    Fail(r, "service: missing \"results\" object");
+    return;
+  }
+  for (const char* key :
+       {"queries", "seconds", "qps", "p50_ms", "p99_ms", "mean_ms", "cache_hit_rate",
+        "segments_stitched", "live_walks", "rejected", "peak_queue_depth", "index_segments",
+        "index_bytes", "index_build_seconds"}) {
+    if (!RequireNumber(*results, key, r, "results")) {
+      return;
+    }
+  }
+  if (results->Find("queries")->AsNumber() <= 0) {
+    Fail(r, "results: no queries served");
+    return;
+  }
+  if (results->Find("seconds")->AsNumber() < 0 || results->Find("qps")->AsNumber() < 0) {
+    Fail(r, "results: negative timing");
+    return;
+  }
+  double p50 = results->Find("p50_ms")->AsNumber();
+  double p99 = results->Find("p99_ms")->AsNumber();
+  if (p50 < 0 || p99 < 0 || p99 < p50) {
+    Fail(r, "results: latency percentiles inconsistent (need 0 <= p50 <= p99)");
+    return;
+  }
+  double hit_rate = results->Find("cache_hit_rate")->AsNumber();
+  if (hit_rate < 0.0 || hit_rate > 1.0) {
+    Fail(r, "results: cache_hit_rate outside [0, 1]");
+    return;
+  }
+}
+
 std::string FormatNumber(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<int64_t>(v))) {
@@ -207,9 +259,11 @@ CheckResult CheckDocument(const JsonValue& doc) {
     CheckSnapshot(doc, &r);
   } else if (bench != nullptr && bench->IsString() && bench->AsString() == "hotpath") {
     CheckHotpath(doc, &r);
+  } else if (bench != nullptr && bench->IsString() && bench->AsString() == "service") {
+    CheckService(doc, &r);
   } else {
     Fail(&r, "unrecognized document: expected kind \"kk-metrics-snapshot\" or bench "
-             "\"hotpath\"");
+             "\"hotpath\" / \"service\"");
   }
   return r;
 }
@@ -257,6 +311,17 @@ std::string Summarize(const JsonValue& doc) {
       }
       out += "\n";
     }
+  } else if (r.kind == "service") {
+    const JsonValue* results = doc.Find("results");
+    out += "service bench: " + FormatNumber(results->Find("queries")->AsNumber()) +
+           " queries, " + FormatNumber(results->Find("qps")->AsNumber()) + " qps\n";
+    out += "  latency p50 " + FormatNumber(results->Find("p50_ms")->AsNumber()) +
+           " ms, p99 " + FormatNumber(results->Find("p99_ms")->AsNumber()) + " ms, mean " +
+           FormatNumber(results->Find("mean_ms")->AsNumber()) + " ms\n";
+    out += "  cache hit rate " + FormatNumber(results->Find("cache_hit_rate")->AsNumber()) +
+           ", stitched " + FormatNumber(results->Find("segments_stitched")->AsNumber()) +
+           ", live walks " + FormatNumber(results->Find("live_walks")->AsNumber()) +
+           ", rejected " + FormatNumber(results->Find("rejected")->AsNumber()) + "\n";
   } else {
     const auto& workloads = doc.Find("workloads")->AsArray();
     out += "hotpath bench: " + std::to_string(workloads.size()) + " workloads\n";

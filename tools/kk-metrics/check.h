@@ -1,8 +1,9 @@
 // Schema validation and summarization for the repo's observability JSON.
 //
-// Two document kinds are understood (both schema_version 1):
+// Three document kinds are understood (all schema_version 1):
 //   - metrics snapshots (MetricsRegistry::ToJson, kind "kk-metrics-snapshot")
 //   - hotpath bench reports (bench_hotpath's BENCH_hotpath.json)
+//   - serving bench reports (bench_service's BENCH_service.json)
 // CI runs `kk-metrics --check` over every emitted artifact so a schema drift
 // fails the build instead of silently breaking downstream consumers. Built as
 // a library so tests/obs_test.cc exercises the checker directly.
@@ -19,7 +20,7 @@ namespace metrics {
 
 struct CheckResult {
   bool ok = false;
-  std::string kind;   // "kk-metrics-snapshot" or "hotpath" when recognized
+  std::string kind;   // "kk-metrics-snapshot", "hotpath", or "service"
   std::string error;  // first violation, empty when ok
 };
 
