@@ -18,13 +18,13 @@
 
 #include <algorithm>
 #include <functional>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/obs/counters.h"
 #include "src/testing/fault_injector.h"
 #include "src/util/check.h"
+#include "src/util/mutex.h"
 #include "src/util/types.h"
 
 namespace knightking {
@@ -63,7 +63,7 @@ class Mailbox {
       return;
     }
     size_t ch = Channel(src, dst);
-    std::lock_guard<std::mutex> lock(locks_[ch].m);
+    MutexLock lock(locks_[ch].m);
 #if KK_OBS
     posted_messages_[ch] += batch.size();
     posted_bytes_[ch] += batch.size() * sizeof(MessageT);
@@ -78,7 +78,7 @@ class Mailbox {
   // into per-destination scratch and use the batch overload above instead.
   void Post(node_rank_t src, node_rank_t dst, const MessageT& msg) {
     size_t ch = Channel(src, dst);
-    std::lock_guard<std::mutex> lock(locks_[ch].m);
+    MutexLock lock(locks_[ch].m);
 #if KK_OBS
     posted_messages_[ch] += 1;
     posted_bytes_[ch] += sizeof(MessageT);
@@ -208,8 +208,14 @@ class Mailbox {
   }
 
  private:
+  // One annotated Mutex per (src, dst) channel. The guarded data is the
+  // matching outgoing_[ch] slot plus its posted_* counters — a per-element
+  // relationship KK_GUARDED_BY cannot express (no dependent capabilities),
+  // so the channel discipline is: Post() holds locks_[Channel(src, dst)].m
+  // for every touch of outgoing_[ch], and the driver-only readers
+  // (Exchange/Wipe/posted_*) run at the BSP barrier with no Post in flight.
   struct ChannelLock {
-    std::mutex m;
+    Mutex m;
   };
 
   size_t Channel(node_rank_t src, node_rank_t dst) const {

@@ -34,7 +34,11 @@ bool WritePathsText(std::span<const std::vector<vertex_id_t>> paths, const std::
 
 bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
                       const std::string& path) {
-  BinaryFileWriter w(path);
+  // Write-to-tmp + CommitFile, like checkpoints and the segment index: a
+  // failure mid-write (full disk, crash) must never leave a truncated corpus
+  // at the final path where a later ReadPathsBinary would half-trust it.
+  const std::string tmp = path + ".tmp";
+  BinaryFileWriter w(tmp);
   if (!w.ok()) {
     return false;
   }
@@ -43,7 +47,11 @@ bool WritePathsBinary(std::span<const std::vector<vertex_id_t>> paths,
   for (const auto& walk : paths) {
     w.WriteVec(walk);
   }
-  return w.Close();
+  if (!w.Close()) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return CommitFile(tmp, path);
 }
 
 bool ReadPathsBinary(const std::string& path, std::vector<std::vector<vertex_id_t>>* out) {

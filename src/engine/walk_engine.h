@@ -34,7 +34,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,7 +53,9 @@
 #include "src/sampling/stats.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/util/types.h"
@@ -305,6 +306,9 @@ class WalkEngine {
       uint64_t steps_total = 0;
       uint64_t outstanding = 0;  // parked trials + unacked walker messages
       for (auto& node : nodes_) {
+        // Top-of-loop barrier: no phase in flight, but the analysis wants
+        // the lock for pending/in_flight/stats — it is uncontended here.
+        MutexLock lock(node->merge_mutex);
         active_total += node->active.size();
         outstanding += node->pending.size() + node->in_flight.size();
         steps_total += node->stats.steps;
@@ -345,6 +349,7 @@ class WalkEngine {
 
     SamplingStats aggregate;
     for (auto& node : nodes_) {
+      MutexLock lock(node->merge_mutex);
       aggregate.Merge(node->stats);
     }
     aggregate.iterations = iterations;
@@ -446,6 +451,7 @@ class WalkEngine {
     for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
       NodeState& node = *nodes_[n];
       NodeSnapshot& ns = snap[n];
+      MutexLock lock(node.merge_mutex);  // driver-only; satisfies the analysis
       node.stats = ns.stats;
       node.active = std::move(ns.active);
       node.next_active.clear();
@@ -476,6 +482,7 @@ class WalkEngine {
   std::vector<PathEntry> TakePathEntries() {
     std::vector<PathEntry> all;
     for (auto& node : nodes_) {
+      MutexLock lock(node->merge_mutex);  // post-Run, uncontended
       all.insert(all.end(), node->path_log.begin(), node->path_log.end());
       node->path_log.clear();
     }
@@ -506,7 +513,13 @@ class WalkEngine {
 
   // Per-node phase-attributed counters of the last Run (empty no-op type
   // when built with -DKK_OBS=OFF; see src/obs/counters.h).
-  const obs::PhaseAccumulator& node_observability(node_rank_t n) const {
+  // KK_NO_THREAD_SAFETY_ANALYSIS: returns a reference to merge_mutex-guarded
+  // state. Safe because callers read it only between Runs, after every
+  // worker chunk joined at the BSP barrier (ParallelFor's return is the
+  // happens-before edge); holding the lock here could not outlive the return
+  // anyway.
+  const obs::PhaseAccumulator& node_observability(node_rank_t n) const
+      KK_NO_THREAD_SAFETY_ANALYSIS {
     return nodes_[n]->obs;
   }
 
@@ -542,6 +555,7 @@ class WalkEngine {
       // a stable (run-to-run comparable) metric when chunks run inline.
       const bool scratch_stable = options_.workers_per_node == 0;
       for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
+        MutexLock node_lock(nodes_[n]->merge_mutex);  // post-Run, uncontended
         const obs::PhaseAccumulator& acc = nodes_[n]->obs;
         obs::Labels node_label = {{"node", std::to_string(n)}};
         for (size_t p = 0; p < obs::kNumPhases; ++p) {
@@ -683,25 +697,30 @@ class WalkEngine {
   };
 
   struct NodeState {
+    // merge_mutex is the node's only capability: worker chunks merge their
+    // scratch under it (MergeScratch / Acquire/ReleaseScratch), and every
+    // driver-phase touch of the guarded members below takes it too — those
+    // acquisitions are uncontended at BSP barriers, so the lock's cost is
+    // confined to the per-chunk merges it always covered.
+    Mutex merge_mutex;
+    // Node-exclusive: only this node's phase driver (one thread at a time)
+    // touches the active batch.
     std::vector<WalkerT> active;
-    std::vector<WalkerT> next_active;
+    std::vector<WalkerT> next_active KK_GUARDED_BY(merge_mutex);
     // Fault-free fast protocol: trials parked this superstep, keyed by slot
     // index carried in QueryMsg::walker. Every slot is answered before phase
     // C ends, so the vector drains each iteration (capacity persists).
-    std::vector<PendingTrial> parked;
-    std::unordered_map<walker_id_t, PendingTrial> pending;
-    std::unordered_map<walker_id_t, InFlightMove> in_flight;
-    std::vector<PathEntry> path_log;
-    SamplingStats stats;
-    // Phase-attributed counters (guarded by merge_mutex; empty no-op type
-    // under -DKK_OBS=OFF).
-    obs::PhaseAccumulator obs;
+    std::vector<PendingTrial> parked KK_GUARDED_BY(merge_mutex);
+    std::unordered_map<walker_id_t, PendingTrial> pending KK_GUARDED_BY(merge_mutex);
+    std::unordered_map<walker_id_t, InFlightMove> in_flight KK_GUARDED_BY(merge_mutex);
+    std::vector<PathEntry> path_log KK_GUARDED_BY(merge_mutex);
+    SamplingStats stats KK_GUARDED_BY(merge_mutex);
+    // Phase-attributed counters (empty no-op type under -DKK_OBS=OFF).
+    obs::PhaseAccumulator obs KK_GUARDED_BY(merge_mutex);
     std::unique_ptr<ThreadPool> pool;
-    std::mutex merge_mutex;
-    // Scratch freelist (guarded by merge_mutex): grows to the number of
-    // chunks this node ever runs concurrently (workers + driver), then every
-    // acquisition is a pop.
-    std::vector<std::unique_ptr<Scratch>> scratch_pool;
+    // Scratch freelist: grows to the number of chunks this node ever runs
+    // concurrently (workers + driver), then every acquisition is a pop.
+    std::vector<std::unique_ptr<Scratch>> scratch_pool KK_GUARDED_BY(merge_mutex);
     // Driver-only buffer for phase C query re-issues (one per destination);
     // reused across iterations.
     std::vector<std::vector<QueryMsg>> requery_out;
@@ -715,7 +734,7 @@ class WalkEngine {
   // first few on a cold start).
   std::unique_ptr<Scratch> AcquireScratch(NodeState& node) {
     {
-      std::lock_guard<std::mutex> lock(node.merge_mutex);
+      MutexLock lock(node.merge_mutex);
       if (!node.scratch_pool.empty()) {
         node.obs.CountScratch(/*hit=*/true);
         std::unique_ptr<Scratch> scratch = std::move(node.scratch_pool.back());
@@ -731,7 +750,7 @@ class WalkEngine {
 
   void ReleaseScratch(NodeState& node, std::unique_ptr<Scratch> scratch) {
     scratch->Clear(options_.num_nodes);  // clear outside the lock
-    std::lock_guard<std::mutex> lock(node.merge_mutex);
+    MutexLock lock(node.merge_mutex);
     node.scratch_pool.push_back(std::move(scratch));
   }
 
@@ -783,6 +802,7 @@ class WalkEngine {
       static_prepared_ = true;
     }
     for (auto& node : nodes_) {
+      MutexLock lock(node->merge_mutex);  // pre-Run, uncontended
       node->active.clear();
       node->next_active.clear();
       node->parked.clear();
@@ -847,6 +867,7 @@ class WalkEngine {
       }
       NodeState& node = *nodes_[partition_.OwnerOf(w.cur)];
       if (options_.collect_paths) {
+        MutexLock lock(node.merge_mutex);  // sequential deploy, uncontended
         node.path_log.push_back({w.id, 0, w.cur});
       }
       // Arrival processing for step 0 (termination coin etc.).
@@ -1198,7 +1219,7 @@ class WalkEngine {
     KK_CHECK(scratch.pending_trials.size() == num_queries);
     size_t parked_base = 0;
     {
-      std::lock_guard<std::mutex> lock(node.merge_mutex);
+      MutexLock lock(node.merge_mutex);
       node.stats.Merge(scratch.stats);
       node.obs.MergeStats(phase, scratch.stats);
       node.next_active.insert(node.next_active.end(),
@@ -1297,6 +1318,7 @@ class WalkEngine {
     std::vector<PendingTrial> pending_sorted;
     std::vector<InFlightMove> inflight_sorted;
     for (auto& node : nodes_) {
+      MutexLock lock(node->merge_mutex);  // top-of-loop barrier, uncontended
       w.Write(static_cast<uint64_t>(sizeof(SamplingStats)));
       w.WriteBytes(&node->stats, sizeof(SamplingStats));
       w.WriteVec(node->active);
@@ -1357,13 +1379,16 @@ class WalkEngine {
     obs::TraceRecorder* const trace = options_.trace;
     double span_start = trace != nullptr ? trace->Now() : 0.0;
     NodeState& crashed = *nodes_[rank];
-    crashed.active.clear();
-    crashed.next_active.clear();
-    crashed.parked.clear();
-    crashed.pending.clear();
-    crashed.in_flight.clear();
-    crashed.path_log.clear();
-    crashed.stats = SamplingStats{};
+    {
+      MutexLock lock(crashed.merge_mutex);  // no phase in flight during recovery
+      crashed.active.clear();
+      crashed.next_active.clear();
+      crashed.parked.clear();
+      crashed.pending.clear();
+      crashed.in_flight.clear();
+      crashed.path_log.clear();
+      crashed.stats = SamplingStats{};
+    }
     walker_mail_->Wipe();
     query_mail_->Wipe();
     response_mail_->Wipe();
@@ -1392,6 +1417,7 @@ class WalkEngine {
       node.active.clear();
       if (ShouldSortBatch(batch.size())) {
         SortBatchByLocality(node, batch);
+        MutexLock lock(node.merge_mutex);  // pre-dispatch, uncontended
         node.obs.CountBatchSort();
       }
       ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
@@ -1475,14 +1501,23 @@ class WalkEngine {
         double node_start = trace != nullptr ? trace->Now() : 0.0;
         SamplingStats resolve_delta;
         auto& resp_inbox = response_mail_->Inbox(n);
-        std::vector<PendingTrial> map_resolved;
+        // Resolved trials drain into this phase-local vector so the worker
+        // chunks below never alias merge_mutex-guarded state (the thread-
+        // safety analysis cannot track references into guarded containers);
+        // the fast protocol swaps with node.parked, which keeps parked's
+        // high-water capacity exactly as before.
+        std::vector<PendingTrial> resolved;
         if (FastQueryProtocol()) {
+          {
+            MutexLock lock(node.merge_mutex);
+            resolved.swap(node.parked);
+          }
           // Index-keyed responses land directly in their parked slot; every
           // slot is answered this superstep, so `parked` IS the resolved set.
-          KK_CHECK(resp_inbox.size() == node.parked.size());
+          KK_CHECK(resp_inbox.size() == resolved.size());
           for (const ResponseMsg& resp : resp_inbox) {
-            KK_DCHECK(resp.walker < node.parked.size());
-            node.parked[static_cast<size_t>(resp.walker)].response = resp.payload;
+            KK_DCHECK(resp.walker < resolved.size());
+            resolved[static_cast<size_t>(resp.walker)].response = resp.payload;
           }
         } else {
           if (options_.deterministic) {
@@ -1492,42 +1527,46 @@ class WalkEngine {
                                                     : a.epoch < b.epoch;
                       });
           }
-          for (const ResponseMsg& resp : resp_inbox) {
-            auto it = node.pending.find(resp.walker);
-            if (it == node.pending.end() || it->second.epoch != resp.epoch) {
-              // Duplicate of an already-resolved trial, or a late answer to a
-              // query that was re-issued (the retry carries the same epoch, so
-              // either copy's answer is accepted — respond_query is pure).
-              resolve_delta.stale_responses += 1;
-              continue;
-            }
-            it->second.response = resp.payload;
-            it->second.responded = true;
-          }
-          // Split resolved trials out; unanswered ones stay parked and are
-          // re-queried after retry_timeout supersteps.
-          map_resolved.reserve(node.pending.size());
-          // Visit order only affects the transient order of `map_resolved`,
-          // which is consumed through a per-walker SeedStream Rng; walker
-          // results do not depend on it. kk-lint: nondeterministic-order-ok
-          for (auto it = node.pending.begin(); it != node.pending.end();) {
-            if (it->second.responded) {
-              map_resolved.push_back(std::move(it->second));
-              it = node.pending.erase(it);
-            } else {
-              KK_CHECK(reliable_);  // fault-free queries answer within the superstep
-              PendingTrial& trial = it->second;
-              if (++trial.age >= options_.retry_timeout) {
-                KK_CHECK(trial.retries < options_.max_retries);
-                trial.retries += 1;
-                trial.age = 0;
-                resolve_delta.query_retries += 1;
-                const WalkerT& w = trial.walker;
-                vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
-                node.requery_out[partition_.OwnerOf(trial.query_target)].push_back(
-                    QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
+          {
+            MutexLock lock(node.merge_mutex);  // per-node phase, uncontended
+            for (const ResponseMsg& resp : resp_inbox) {
+              auto it = node.pending.find(resp.walker);
+              if (it == node.pending.end() || it->second.epoch != resp.epoch) {
+                // Duplicate of an already-resolved trial, or a late answer to
+                // a query that was re-issued (the retry carries the same
+                // epoch, so either copy's answer is accepted — respond_query
+                // is pure).
+                resolve_delta.stale_responses += 1;
+                continue;
               }
-              ++it;
+              it->second.response = resp.payload;
+              it->second.responded = true;
+            }
+            // Split resolved trials out; unanswered ones stay parked and are
+            // re-queried after retry_timeout supersteps.
+            resolved.reserve(node.pending.size());
+            // Visit order only affects the transient order of `resolved`,
+            // which is consumed through a per-walker SeedStream Rng; walker
+            // results do not depend on it. kk-lint: nondeterministic-order-ok
+            for (auto it = node.pending.begin(); it != node.pending.end();) {
+              if (it->second.responded) {
+                resolved.push_back(std::move(it->second));
+                it = node.pending.erase(it);
+              } else {
+                KK_CHECK(reliable_);  // fault-free queries answer within the superstep
+                PendingTrial& trial = it->second;
+                if (++trial.age >= options_.retry_timeout) {
+                  KK_CHECK(trial.retries < options_.max_retries);
+                  trial.retries += 1;
+                  trial.age = 0;
+                  resolve_delta.query_retries += 1;
+                  const WalkerT& w = trial.walker;
+                  vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
+                  node.requery_out[partition_.OwnerOf(trial.query_target)].push_back(
+                      QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
+                }
+                ++it;
+              }
             }
           }
           for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
@@ -1535,15 +1574,13 @@ class WalkEngine {
             node.requery_out[dst].clear();
           }
           if (options_.deterministic) {
-            std::sort(map_resolved.begin(), map_resolved.end(),
+            std::sort(resolved.begin(), resolved.end(),
                       [](const PendingTrial& a, const PendingTrial& b) {
                         return a.walker.id < b.walker.id;
                       });
           }
         }
         resp_inbox.clear();
-        std::vector<PendingTrial>& resolved =
-            FastQueryProtocol() ? node.parked : map_resolved;
         // No locality re-sort here: resolved trials already arrive roughly
         // cur-clustered (phase A grouped their walkers), and PendingTrial is
         // heavy enough that another counting pass costs more than it saves.
@@ -1569,9 +1606,18 @@ class WalkEngine {
           MergeScratch(node, n, *scratch, obs::Phase::kResolve);
           ReleaseScratch(node, std::move(scratch));
         });
-        node.parked.clear();  // drained; capacity persists across iterations
-        node.stats.Merge(resolve_delta);
-        node.obs.MergeStats(obs::Phase::kResolve, resolve_delta);
+        {
+          MutexLock lock(node.merge_mutex);
+          if (FastQueryProtocol()) {
+            // Hand the drained storage back so parked keeps its high-water
+            // capacity across iterations (node.parked is empty here: phase C
+            // resolution commits or stays, it never parks new trials).
+            resolved.clear();
+            node.parked.swap(resolved);
+          }
+          node.stats.Merge(resolve_delta);
+          node.obs.MergeStats(obs::Phase::kResolve, resolve_delta);
+        }
         if (trace != nullptr) {
           trace->RecordSpan("resolve", n + 1u, 0, node_start, trace->Now() - node_start,
                             superstep_);
@@ -1592,6 +1638,9 @@ class WalkEngine {
     for (node_rank_t n = 0; n < num_nodes; ++n) {
       NodeState& node = *nodes_[n];
       SamplingStats exchange_delta;
+      // Sequential driver loop after the barrier Exchange; the lock is
+      // uncontended and covers next_active/stats/obs for the analysis.
+      MutexLock lock(node.merge_mutex);
       auto& inbox = walker_mail_->Inbox(n);
       if (options_.deterministic) {
         std::sort(inbox.begin(), inbox.end(), [](const WalkerT& a, const WalkerT& b) {
@@ -1644,6 +1693,7 @@ class WalkEngine {
       for (node_rank_t n = 0; n < num_nodes; ++n) {
         NodeState& node = *nodes_[n];
         SamplingStats ack_delta;
+        MutexLock lock(node.merge_mutex);  // sequential driver loop, uncontended
         for (const AckMsg& a : ack_mail_->Inbox(n)) {
           auto it = node.in_flight.find(a.walker);
           if (it != node.in_flight.end() && it->second.walker.step == a.step) {

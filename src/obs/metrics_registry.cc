@@ -58,6 +58,7 @@ void MetricsRegistry::AddCounter(const std::string& name, Labels labels, uint64_
                                  bool stable) {
   std::sort(labels.begin(), labels.end());
   std::string key = CanonicalKey(name, labels);
+  MutexLock lock(mu_);
   auto [it, inserted] = metrics_.try_emplace(std::move(key));
   Metric& m = it->second;
   if (inserted) {
@@ -76,6 +77,7 @@ void MetricsRegistry::SetGauge(const std::string& name, Labels labels, double va
                                bool stable) {
   std::sort(labels.begin(), labels.end());
   std::string key = CanonicalKey(name, labels);
+  MutexLock lock(mu_);
   auto [it, inserted] = metrics_.try_emplace(std::move(key));
   Metric& m = it->second;
   if (inserted) {
@@ -91,6 +93,7 @@ void MetricsRegistry::SetGauge(const std::string& name, Labels labels, double va
 }
 
 std::vector<const Metric*> MetricsRegistry::Sorted() const {
+  MutexLock lock(mu_);
   std::vector<const Metric*> out;
   out.reserve(metrics_.size());
   for (const auto& [key, m] : metrics_) {
@@ -100,6 +103,7 @@ std::vector<const Metric*> MetricsRegistry::Sorted() const {
 }
 
 std::string MetricsRegistry::ToJson(Snapshot mode) const {
+  MutexLock lock(mu_);
   std::string out;
   out += "{\n";
   out += "  \"schema_version\": 1,\n";

@@ -27,6 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
 namespace knightking {
 namespace obs {
 
@@ -49,15 +52,25 @@ class MetricsRegistry {
 
   // Adds `value` to the counter at (name, labels), creating it at zero.
   // Counters are integral; `stable` must be consistent across calls.
+  // Thread-safe: concurrent producers may publish into one registry.
   void AddCounter(const std::string& name, Labels labels, uint64_t value, bool stable = true);
 
   // Sets the gauge at (name, labels), overwriting any prior value.
   void SetGauge(const std::string& name, Labels labels, double value, bool stable = false);
 
-  void Clear() { metrics_.clear(); }
-  size_t size() const { return metrics_.size(); }
+  void Clear() {
+    MutexLock lock(mu_);
+    metrics_.clear();
+  }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return metrics_.size();
+  }
 
-  // Metrics in canonical (name, labels) order.
+  // Metrics in canonical (name, labels) order. The pointers alias registry
+  // storage: they stay valid until the next AddCounter/SetGauge/Clear, and
+  // the caller must not mutate the registry concurrently while holding them
+  // (exporters are sequential; the lock covers publication, not borrowing).
   std::vector<const Metric*> Sorted() const;
 
   enum class Snapshot { kAll, kStableOnly };
@@ -67,8 +80,9 @@ class MetricsRegistry {
   std::string ToJson(Snapshot mode = Snapshot::kAll) const;
 
  private:
+  mutable Mutex mu_;
   // Keyed by name + '\x1f' + "k=v" pairs: map order IS canonical order.
-  std::map<std::string, Metric> metrics_;
+  std::map<std::string, Metric> metrics_ KK_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -9,14 +9,14 @@ namespace knightking {
 namespace obs {
 
 std::vector<TraceRecorder::Event> TraceRecorder::TakeEvents() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Event> out;
   out.swap(events_);
   return out;
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Sort a copy by (ts, pid) so the export is stable for a given recording
   // (concurrent Record calls append in scheduling order).
   std::vector<const Event*> sorted;

@@ -17,10 +17,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
 
 namespace knightking {
@@ -44,7 +45,7 @@ class TraceRecorder {
 
   // Clears recorded events and re-zeros the trace clock.
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.clear();
     process_names_.clear();
     epoch_.Restart();
@@ -55,18 +56,18 @@ class TraceRecorder {
 
   void RecordSpan(const char* name, uint32_t pid, uint32_t tid, double ts, double dur,
                   uint64_t iteration) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.push_back(Event{name, pid, tid, ts, dur, iteration});
   }
 
   // Names a lane in the exported trace (e.g. "node 2").
   void SetProcessName(uint32_t pid, std::string name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     process_names_[pid] = std::move(name);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return events_.size();
   }
 
@@ -77,9 +78,12 @@ class TraceRecorder {
   std::string ToChromeJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::map<uint32_t, std::string> process_names_;
+  mutable Mutex mu_;
+  std::vector<Event> events_ KK_GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> process_names_ KK_GUARDED_BY(mu_);
+  // Read lock-free by Now() from concurrent node drivers; written only by
+  // Reset(), which the engine calls before any recording thread exists, so
+  // the Restart/Seconds pair is ordered by thread creation, not by mu_.
   Timer epoch_;
 };
 

@@ -38,18 +38,21 @@ std::string ServiceResult::Canonical() const {
   return out;
 }
 
-const ServiceResult* ResultCache::Get(uint64_t key) {
+bool ResultCache::Get(uint64_t key, ServiceResult* out) {
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     misses_ += 1;
-    return nullptr;
+    return false;
   }
   hits_ += 1;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->second;
+  *out = it->second->second;
+  return true;
 }
 
 void ResultCache::Put(uint64_t key, ServiceResult result) {
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = std::move(result);
@@ -69,6 +72,7 @@ void ResultCache::Put(uint64_t key, ServiceResult result) {
 }
 
 std::vector<uint64_t> ResultCache::KeysByRecency() const {
+  MutexLock lock(mu_);
   std::vector<uint64_t> keys;
   keys.reserve(lru_.size());
   for (const auto& [k, v] : lru_) {

@@ -28,6 +28,7 @@
 #include <deque>
 #include <list>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -39,7 +40,9 @@
 #include "src/obs/histogram.h"
 #include "src/obs/metrics_registry.h"
 #include "src/service/segment_index.h"
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
 #include "src/util/types.h"
 
@@ -87,31 +90,53 @@ struct ServiceResult {
 // clocks, no randomized admission — so eviction order is a pure function of
 // the access sequence; the determinism test cross-checks hits/misses/
 // evictions against the exported metrics exactly.
+//
+// Internally synchronized: every method takes the cache's own mutex, so
+// concurrent readers (metrics export, future async serving) never race the
+// serving thread's Get/Put. Get copies the entry out instead of returning a
+// pointer — a reference into the LRU could be invalidated by a concurrent
+// eviction the moment the lock drops.
 class ResultCache {
  public:
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
-  // nullptr on miss; touches the entry on hit.
-  const ServiceResult* Get(uint64_t key);
+  // Copies the entry at `key` into *out and touches its recency; false on
+  // miss. Hit/miss counters update either way.
+  bool Get(uint64_t key, ServiceResult* out);
 
   // Inserts or refreshes; evicts the least recently used entry when full.
   void Put(uint64_t key, ServiceResult result);
 
-  size_t size() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return map_.size();
+  }
+  uint64_t hits() const {
+    MutexLock lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    MutexLock lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    MutexLock lock(mu_);
+    return evictions_;
+  }
 
   // Keys from most to least recently used (test introspection).
   std::vector<uint64_t> KeysByRecency() const;
 
  private:
+  using LruList = std::list<std::pair<uint64_t, ServiceResult>>;
+
+  mutable Mutex mu_;
   size_t capacity_;
-  std::list<std::pair<uint64_t, ServiceResult>> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, ServiceResult>>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  LruList lru_ KK_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint64_t, LruList::iterator> map_ KK_GUARDED_BY(mu_);
+  uint64_t hits_ KK_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ KK_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ KK_GUARDED_BY(mu_) = 0;
 };
 
 struct WalkServiceOptions {
@@ -150,6 +175,7 @@ struct ServiceCounters {
   uint64_t segments_stitched = 0;
   uint64_t live_walks = 0;
   uint64_t live_walk_steps = 0;
+  uint64_t index_swaps = 0;  // staged indexes adopted at batch boundaries
 };
 
 template <typename EdgeData>
@@ -174,7 +200,8 @@ class WalkService {
   // service's own engine once (walker v*spv+s starts at v). The build uses a
   // master seed derived from the service seed, so index randomness and
   // live-serving randomness are unrelated streams.
-  void BuildIndex() {
+  void BuildIndex() KK_EXCLUDES(serve_mu_) {
+    MutexLock serve(serve_mu_);
     uint32_t spv = options_.segments_per_vertex;
     vertex_id_t num_v = engine_->graph().num_vertices();
     if (spv == 0) {
@@ -218,39 +245,58 @@ class WalkService {
     index_build_seconds_ = timer.Seconds();
   }
 
-  bool SaveIndex(const std::string& path, std::string* error) const {
+  bool SaveIndex(const std::string& path, std::string* error) const
+      KK_EXCLUDES(serve_mu_) {
+    MutexLock serve(serve_mu_);
     return index_.Save(path, error);
   }
 
   // Loads a previously saved index; refuses one whose shape or walk
   // parameters disagree with this service (stitching with foreign-law
-  // segments would silently skew every answer).
-  bool LoadIndex(const std::string& path, std::string* error) {
+  // segments would silently skew every answer). Takes effect immediately —
+  // use StageIndex to refresh without blocking admission.
+  bool LoadIndex(const std::string& path, std::string* error) KK_EXCLUDES(serve_mu_) {
     SegmentIndex loaded;
-    if (!SegmentIndex::Load(path, &loaded, error)) {
+    if (!ValidateLoaded(path, &loaded, error)) {
       return false;
     }
-    if (loaded.num_vertices() != engine_->graph().num_vertices() ||
-        loaded.params().terminate_prob != options_.terminate_prob ||
-        loaded.params().seed != options_.seed) {
-      if (error != nullptr) {
-        *error = "index was built for a different graph, walk law, or seed";
-      }
-      return false;
-    }
+    MutexLock serve(serve_mu_);
     options_.segments_per_vertex = loaded.params().segments_per_vertex;
     options_.segment_cap = loaded.params().segment_cap;
     index_ = std::move(loaded);
     return true;
   }
 
-  const SegmentIndex& index() const { return index_; }
+  // Online index refresh (ROADMAP: "index refresh without downtime"): loads
+  // and validates a saved index but parks it in a staging slot instead of
+  // installing it. The serving thread adopts it at its next batch boundary,
+  // so an in-flight ProcessBatch never observes a mid-batch index change and
+  // Submit() is never blocked behind index deserialization. A second stage
+  // before adoption simply replaces the first.
+  bool StageIndex(const std::string& path, std::string* error) KK_EXCLUDES(mu_) {
+    auto staged = std::make_unique<SegmentIndex>();
+    if (!ValidateLoaded(path, staged.get(), error)) {
+      return false;
+    }
+    MutexLock lock(mu_);
+    staged_index_ = std::move(staged);
+    return true;
+  }
+
+  // Borrows the live index without synchronization. Callers are tests and
+  // sequential drivers inspecting state between serving calls; a reference
+  // into guarded state cannot be expressed to the analysis, and locking here
+  // would only protect the pointer read, not the borrow.
+  const SegmentIndex& index() const KK_NO_THREAD_SAFETY_ANALYSIS { return index_; }
 
   // --- Query admission and serving --------------------------------------
 
-  // Enqueues a query; false = queue full (caller should back off).
-  bool Submit(const ServiceQuery& q) {
+  // Enqueues a query; false = queue full (caller should back off). Takes
+  // only the admission lock, so producers are never blocked behind a batch
+  // in flight (the graph bound check reads immutable topology lock-free).
+  bool Submit(const ServiceQuery& q) KK_EXCLUDES(mu_) {
     KK_CHECK(q.vertex < engine_->graph().num_vertices());
+    MutexLock lock(mu_);
     if (queue_.size() >= options_.max_queue_depth) {
       counters_.rejected += 1;
       return false;
@@ -263,36 +309,55 @@ class WalkService {
     return true;
   }
 
-  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_depth() const KK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return queue_.size();
+  }
 
   // Drains up to max_batch queued queries and serves them in one shared
   // pass: cache lookups first, then index stitching for every miss, then a
   // single engine run covering ALL live-fallback walks of the batch.
   // Results come back in submission order.
-  std::vector<ServiceResult> ProcessBatch() {
-    size_t n = std::min(queue_.size(), options_.max_batch);
-    if (n == 0) {
-      return {};
-    }
-    counters_.batches += 1;
+  //
+  // serve_mu_ serializes concurrent ProcessBatch callers and covers the
+  // whole pass; mu_ is held only to drain the queue (adopting any staged
+  // index first) and to fold counters back in, so Submit stays responsive
+  // while the batch serves. Lock order: serve_mu_ before mu_, always.
+  std::vector<ServiceResult> ProcessBatch() KK_EXCLUDES(serve_mu_, mu_) {
+    MutexLock serve(serve_mu_);
     std::vector<Pending> batch;
-    batch.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    {
+      MutexLock lock(mu_);
+      if (staged_index_ != nullptr) {
+        index_ = std::move(*staged_index_);
+        staged_index_.reset();
+        options_.segments_per_vertex = index_.params().segments_per_vertex;
+        options_.segment_cap = index_.params().segment_cap;
+        counters_.index_swaps += 1;
+      }
+      size_t n = std::min(queue_.size(), options_.max_batch);
+      if (n == 0) {
+        return {};
+      }
+      counters_.batches += 1;
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
+    size_t n = batch.size();
 
     std::vector<ServiceResult> results(n);
     std::vector<QueryWork> work;  // cache misses only
     for (size_t i = 0; i < n; ++i) {
       const ServiceQuery& q = batch[i].query;
       uint64_t cache_key = HashCombine64(options_.seed, QueryContentKey(q));
-      if (options_.cache_capacity > 0) {
-        if (const ServiceResult* hit = cache_.Get(cache_key)) {
-          results[i] = *hit;
-          results[i].from_cache = true;
-          continue;
-        }
+      ServiceResult hit;
+      if (options_.cache_capacity > 0 && cache_.Get(cache_key, &hit)) {
+        results[i] = std::move(hit);
+        results[i].from_cache = true;
+        continue;
       }
       QueryWork qw;
       qw.slot = i;
@@ -301,15 +366,19 @@ class WalkService {
       work.push_back(std::move(qw));
     }
 
+    // Serving-side counter deltas accumulate locally and fold into
+    // counters_ at the end — the stitching loops must not take mu_.
+    ServiceCounters delta;
+
     // Stitch every miss from the index; collect live-fallback cursors.
     std::vector<LiveWalk> live;
     for (size_t wi = 0; wi < work.size(); ++wi) {
-      StitchQuery(wi, work[wi], &live);
+      StitchQuery(wi, work[wi], &live, &delta);
     }
 
     // One shared engine run finishes every pending walk of the batch.
     if (!live.empty()) {
-      RunLiveWalks(&live, &work);
+      RunLiveWalks(&live, &work, &delta);
     }
 
     for (QueryWork& w : work) {
@@ -320,67 +389,109 @@ class WalkService {
       results[w.slot] = std::move(r);
     }
 
-    for (size_t i = 0; i < n; ++i) {
-      counters_.served += 1;
-      if (batch[i].query.kind == QueryKind::kPpr) {
-        counters_.ppr_queries += 1;
-      } else {
-        counters_.context_queries += 1;
+    {
+      MutexLock lock(mu_);
+      counters_.segments_stitched += delta.segments_stitched;
+      counters_.live_walks += delta.live_walks;
+      counters_.live_walk_steps += delta.live_walk_steps;
+      for (size_t i = 0; i < n; ++i) {
+        counters_.served += 1;
+        if (batch[i].query.kind == QueryKind::kPpr) {
+          counters_.ppr_queries += 1;
+        } else {
+          counters_.context_queries += 1;
+        }
+        latency_.Record(static_cast<uint64_t>(batch[i].timer.Seconds() * 1e9));
       }
-      latency_.Record(static_cast<uint64_t>(batch[i].timer.Seconds() * 1e9));
     }
     return results;
   }
 
   // Convenience: submit one query and serve it immediately (tests, simple
   // callers). KK_CHECKs admission — use Submit/ProcessBatch under load.
-  ServiceResult ServeOne(const ServiceQuery& q) {
+  ServiceResult ServeOne(const ServiceQuery& q) KK_EXCLUDES(serve_mu_, mu_) {
     KK_CHECK(Submit(q));
     std::vector<ServiceResult> r = ProcessBatch();
     KK_CHECK(r.size() == 1);
     return std::move(r.front());
   }
 
-  const ServiceCounters& counters() const { return counters_; }
-  const ResultCache& cache() const { return cache_; }
-  const obs::LatencyHistogram& latency() const { return latency_; }
+  // Snapshot copies: a reference into guarded state would outlive the lock.
+  // (Callers binding `const ServiceCounters&` to these still compile — the
+  // temporary's lifetime extends to the reference's.)
+  ServiceCounters counters() const KK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return counters_;
+  }
+  obs::LatencyHistogram latency() const KK_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return latency_;
+  }
+  const ResultCache& cache() const { return cache_; }  // internally synchronized
   const Csr<EdgeData>& graph() const { return engine_->graph(); }
-  double index_build_seconds() const { return index_build_seconds_; }
+  double index_build_seconds() const KK_EXCLUDES(serve_mu_) {
+    MutexLock serve(serve_mu_);
+    return index_build_seconds_;
+  }
 
   // Serving metrics in the kk-metrics schema. Counters and cache/queue/index
   // state are stable (pure functions of the query trace); latency gauges are
-  // wall clock and therefore unstable.
-  void ExportMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const {
+  // wall clock and therefore unstable. Snapshots each lock domain in turn
+  // (never nested — lock order with a concurrent ProcessBatch is moot) so
+  // the export is a consistent cut of each domain, not of the whole service.
+  void ExportMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const
+      KK_EXCLUDES(serve_mu_, mu_) {
     auto with = [&base](obs::Labels extra) {
       extra.insert(extra.end(), base.begin(), base.end());
       return extra;
     };
-    out.AddCounter("service.queries_submitted", with({}), counters_.submitted);
-    out.AddCounter("service.queries_rejected", with({}), counters_.rejected);
-    out.AddCounter("service.queries_served", with({{"kind", "ppr"}}), counters_.ppr_queries);
+    ServiceCounters c;
+    uint64_t depth = 0;
+    obs::LatencyHistogram lat;
+    {
+      MutexLock lock(mu_);
+      c = counters_;
+      depth = queue_.size();
+      lat = latency_;
+    }
+    uint64_t index_segments = 0;
+    uint64_t index_bytes = 0;
+    double build_seconds = 0.0;
+    {
+      MutexLock serve(serve_mu_);
+      index_segments = index_.num_segments();
+      index_bytes = index_.PayloadBytes();
+      build_seconds = index_build_seconds_;
+    }
+    out.AddCounter("service.queries_submitted", with({}), c.submitted);
+    out.AddCounter("service.queries_rejected", with({}), c.rejected);
+    out.AddCounter("service.queries_served", with({{"kind", "ppr"}}), c.ppr_queries);
     out.AddCounter("service.queries_served", with({{"kind", "context"}}),
-                   counters_.context_queries);
-    out.AddCounter("service.batches", with({}), counters_.batches);
-    out.AddCounter("service.peak_queue_depth", with({}), counters_.peak_queue_depth);
-    out.AddCounter("service.queue_depth", with({}), queue_.size());
+                   c.context_queries);
+    out.AddCounter("service.batches", with({}), c.batches);
+    out.AddCounter("service.peak_queue_depth", with({}), c.peak_queue_depth);
+    out.AddCounter("service.queue_depth", with({}), depth);
     out.AddCounter("service.cache_hits", with({}), cache_.hits());
     out.AddCounter("service.cache_misses", with({}), cache_.misses());
     out.AddCounter("service.cache_evictions", with({}), cache_.evictions());
     out.AddCounter("service.cache_entries", with({}), cache_.size());
-    out.AddCounter("service.segments_stitched", with({}), counters_.segments_stitched);
-    out.AddCounter("service.live_walks", with({}), counters_.live_walks);
-    out.AddCounter("service.live_walk_steps", with({}), counters_.live_walk_steps);
-    out.AddCounter("service.index_segments", with({}), index_.num_segments());
-    out.AddCounter("service.index_bytes", with({}), index_.PayloadBytes());
+    out.AddCounter("service.segments_stitched", with({}), c.segments_stitched);
+    out.AddCounter("service.live_walks", with({}), c.live_walks);
+    out.AddCounter("service.live_walk_steps", with({}), c.live_walk_steps);
+    out.AddCounter("service.index_swaps", with({}), c.index_swaps);
+    out.AddCounter("service.index_segments", with({}), index_segments);
+    out.AddCounter("service.index_bytes", with({}), index_bytes);
     out.SetGauge("service.latency_p50_ms", with({}),
-                 static_cast<double>(latency_.PercentileNanos(0.50)) / 1e6, false);
+                 static_cast<double>(lat.PercentileNanos(0.50)) / 1e6, false);
     out.SetGauge("service.latency_p99_ms", with({}),
-                 static_cast<double>(latency_.PercentileNanos(0.99)) / 1e6, false);
-    out.SetGauge("service.latency_mean_ms", with({}), latency_.MeanNanos() / 1e6, false);
-    out.SetGauge("service.index_build_seconds", with({}), index_build_seconds_, false);
+                 static_cast<double>(lat.PercentileNanos(0.99)) / 1e6, false);
+    out.SetGauge("service.latency_mean_ms", with({}), lat.MeanNanos() / 1e6, false);
+    out.SetGauge("service.index_build_seconds", with({}), build_seconds, false);
   }
 
-  void ExportEngineMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const {
+  void ExportEngineMetrics(obs::MetricsRegistry& out, const obs::Labels& base = {}) const
+      KK_EXCLUDES(serve_mu_) {
+    MutexLock serve(serve_mu_);
     engine_->ExportMetrics(out, base);
   }
 
@@ -416,10 +527,31 @@ class WalkService {
     std::vector<vertex_id_t> context;
   };
 
+  // Loads `path` into *loaded and refuses an index whose shape or walk
+  // parameters disagree with this service. Reads only immutable state
+  // (topology, construction-time options), so stagers need no lock here.
+  bool ValidateLoaded(const std::string& path, SegmentIndex* loaded,
+                      std::string* error) const {
+    if (!SegmentIndex::Load(path, loaded, error)) {
+      return false;
+    }
+    if (loaded->num_vertices() != engine_->graph().num_vertices() ||
+        loaded->params().terminate_prob != options_.terminate_prob ||
+        loaded->params().seed != options_.seed) {
+      if (error != nullptr) {
+        *error = "index was built for a different graph, walk law, or seed";
+      }
+      return false;
+    }
+    return true;
+  }
+
   // Serves the index-stitching stage of one query; walks that exhaust the
   // index (or exceed the stitch budget) are appended to `live` with their
-  // continuation cursor.
-  void StitchQuery(size_t work_idx, QueryWork& w, std::vector<LiveWalk>* live) {
+  // continuation cursor. Counter deltas go to *delta (the caller folds them
+  // into counters_ under mu_ once the batch completes).
+  void StitchQuery(size_t work_idx, QueryWork& w, std::vector<LiveWalk>* live,
+                   ServiceCounters* delta) KK_REQUIRES(serve_mu_) {
     const ServiceQuery& q = w.query;
     uint64_t qkey = QueryContentKey(q);
     // Per-query stitching randomness: a pure function of (seed, content).
@@ -463,7 +595,7 @@ class WalkService {
         if (s < 0) {
           break;  // index dry here → live fallback
         }
-        counters_.segments_stitched += 1;
+        delta->segments_stitched += 1;
         auto seg = index_.Segment(cur, static_cast<uint32_t>(s));
         bool terminated = index_.Terminated(cur, static_cast<uint32_t>(s));
         if (q.kind == QueryKind::kPpr) {
@@ -503,7 +635,8 @@ class WalkService {
   // shared supersteps. Each walker's RNG stream is a hash of (its query's
   // content, its walk slot), so the walk is independent of which other
   // queries happen to share the run.
-  void RunLiveWalks(std::vector<LiveWalk>* live, std::vector<QueryWork>* work) {
+  void RunLiveWalks(std::vector<LiveWalk>* live, std::vector<QueryWork>* work,
+                    ServiceCounters* delta) KK_REQUIRES(serve_mu_) {
     std::vector<uint64_t> streams(live->size());
     std::vector<uint32_t> caps(live->size());
     for (size_t i = 0; i < live->size(); ++i) {
@@ -536,8 +669,8 @@ class WalkService {
       QueryWork& w = (*work)[lw.work_idx];
       const auto& path = paths[i];
       KK_CHECK(!path.empty() && path.front() == lw.cur);
-      counters_.live_walks += 1;
-      counters_.live_walk_steps += path.size() - 1;
+      delta->live_walks += 1;
+      delta->live_walk_steps += path.size() - 1;
       if (w.query.kind == QueryKind::kPpr) {
         // path[0] == cur: already counted when this walk stitched at least
         // one segment; a never-stitched walk starts fresh here and its
@@ -581,17 +714,32 @@ class WalkService {
     return r;
   }
 
+  // Admission fields (seed, queue/batch limits, cache_capacity, walk law)
+  // are immutable after construction and read lock-free; the index-shape
+  // fields (segments_per_vertex, segment_cap) are written only under
+  // serve_mu_ (LoadIndex, staged-index adoption) and read under it
+  // (BuildIndex). The split is documented rather than annotated: per-field
+  // guards inside one options struct are inexpressible to the analysis.
   WalkServiceOptions options_;
+  // The engine runs only under serve_mu_ (BuildIndex, RunLiveWalks); its
+  // graph() accessor returns immutable topology and stays lock-free.
   std::unique_ptr<EngineT> engine_;
-  SegmentIndex index_;
-  std::deque<Pending> queue_;
-  ResultCache cache_;
-  ServiceCounters counters_;
-  obs::LatencyHistogram latency_;
-  double index_build_seconds_ = 0.0;
-  // Base pointer of the current batch's work vector (StitchQuery needs its
-  // own index within it for LiveWalk bookkeeping).
-  QueryWork* work_base_ = nullptr;
+
+  // Serving lock: serializes ProcessBatch / index lifecycle. Ordered BEFORE
+  // mu_ — a serve_mu_ holder may take mu_, never the reverse.
+  mutable Mutex serve_mu_;
+  SegmentIndex index_ KK_GUARDED_BY(serve_mu_);
+  double index_build_seconds_ KK_GUARDED_BY(serve_mu_) = 0.0;
+
+  // Admission lock: queue, counters, latency, and the staged-index slot.
+  // Submit takes only this, so producers never wait on a batch in flight.
+  mutable Mutex mu_;
+  std::deque<Pending> queue_ KK_GUARDED_BY(mu_);
+  std::unique_ptr<SegmentIndex> staged_index_ KK_GUARDED_BY(mu_);
+  ServiceCounters counters_ KK_GUARDED_BY(mu_);
+  obs::LatencyHistogram latency_ KK_GUARDED_BY(mu_);
+
+  ResultCache cache_;  // internally synchronized
 };
 
 }  // namespace knightking

@@ -1,0 +1,76 @@
+// Annotated mutex / RAII lock / condition variable wrappers.
+//
+// kk::Mutex is std::mutex plus the KK_CAPABILITY annotation so Clang's
+// thread-safety analysis can name it in KK_GUARDED_BY/KK_REQUIRES clauses;
+// kk-lint rule KK007 bans the raw std primitives everywhere else so that
+// every lock in the tree is visible to the analysis. The wrappers are
+// zero-overhead: all methods are inline forwards to the std primitives.
+//
+// This header is the one place allowed to touch std::mutex directly.
+#ifndef SRC_UTIL_MUTEX_H_
+#define SRC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace knightking {
+
+class KK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KK_ACQUIRE() { mu_.lock(); }
+  void Unlock() KK_RELEASE() { mu_.unlock(); }
+  bool TryLock() KK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII holder; the analysis treats the guarded region as the lexical scope.
+class KK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KK_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KK_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable while holding a kk::Mutex. Wait() has no
+// predicate overload on purpose: an inline `while (!cond) cv.Wait(mu);` loop
+// keeps the guarded reads in the waiting function itself, where the analysis
+// can see the lock is held (a predicate lambda is analyzed as a separate
+// function and would defeat KK_GUARDED_BY).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  // Spurious wakeups are possible — always wait in a condition loop.
+  void Wait(Mutex& mu) KK_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller still owns the lock, as the annotation says
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_MUTEX_H_

@@ -13,10 +13,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -56,7 +56,7 @@ void ThreadPool::ParallelFor(size_t total, size_t chunk_size,
   job.num_chunks = (total + chunk_size - 1) / chunk_size;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_job_ = &job;
     ++job_epoch_;
   }
@@ -65,10 +65,10 @@ void ThreadPool::ParallelFor(size_t total, size_t chunk_size,
   // inline threshold) otherwise pay a full notify_all stampede per phase.
   size_t useful_workers = job.num_chunks - 1;  // caller runs chunks too
   if (useful_workers >= workers_.size()) {
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   } else {
     for (size_t i = 0; i < useful_workers; ++i) {
-      work_ready_.notify_one();
+      work_ready_.NotifyOne();
     }
   }
 
@@ -79,9 +79,13 @@ void ThreadPool::ParallelFor(size_t total, size_t chunk_size,
   // Wait until no worker still holds a reference to `job` (it lives on this
   // stack frame). Workers join/leave the job under mutex_, so once
   // active_workers hits zero with current_job_ cleared, none can re-enter.
-  std::unique_lock<std::mutex> lock(mutex_);
-  current_job_ = nullptr;
-  work_done_.wait(lock, [&] { return job.active_workers == 0; });
+  {
+    MutexLock lock(mutex_);
+    current_job_ = nullptr;
+    while (job.active_workers != 0) {
+      work_done_.Wait(mutex_);
+    }
+  }
   KK_DCHECK(job.done_chunks.load(std::memory_order_acquire) == job.num_chunks);
 }
 
@@ -90,10 +94,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return shutting_down_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && (current_job_ == nullptr || job_epoch_ == seen_epoch)) {
+        work_ready_.Wait(mutex_);
+      }
       if (shutting_down_) {
         return;
       }
@@ -103,10 +107,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunChunks(*job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --job->active_workers;
     }
-    work_done_.notify_one();
+    work_done_.NotifyOne();
   }
 }
 

@@ -45,8 +45,10 @@ std::vector<Finding> LintFixture(const std::string& rel) {
 
 TEST(KkLintTest, Kk001AmbientRandomnessFixture) {
   auto findings = LintFixture("src/apps/kk001_ambient.cc");
-  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK001"});
-  EXPECT_GE(findings.size(), 4u);  // time(nullptr), random_device, mt19937, rand
+  // time(nullptr) is dual-claimed by design: it is both seed material (KK001)
+  // and an ambient clock read (KK006); src/apps/ is in both scopes.
+  EXPECT_EQ(RuleIds(findings), (std::set<std::string>{"KK001", "KK006"}));
+  EXPECT_GE(findings.size(), 5u);  // time(nullptr) x2, random_device, mt19937, rand
 }
 
 TEST(KkLintTest, Kk002RawSeedFixture) {
@@ -101,10 +103,49 @@ TEST(KkLintTest, Kk005HardenedReaderIdiomIsGuarded) {
   EXPECT_EQ(std::string(findings[0].rule), "KK005");
 }
 
+TEST(KkLintTest, Kk006AmbientTimeFixture) {
+  auto findings = LintFixture("src/engine/kk006_ambient_time.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK006"});
+  EXPECT_EQ(findings.size(), 2u);  // steady_clock::now + clock_gettime
+}
+
+TEST(KkLintTest, Kk007RawMutexFixture) {
+  auto findings = LintFixture("src/engine/kk007_raw_mutex.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK007"});
+  EXPECT_EQ(findings.size(), 3u);  // mutex + condition_variable + lock_guard
+}
+
+TEST(KkLintTest, Kk008FpReductionFixture) {
+  auto findings = LintFixture("src/engine/kk008_fp_reduction.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK008"});
+  // Exactly the shared-double reduction: the body-local accumulator, the
+  // sequential merge, and the integer count must all stay silent.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("total +="), std::string::npos);
+}
+
+TEST(KkLintTest, Kk009UncheckedWriterFixture) {
+  auto findings = LintFixture("src/engine/kk009_unchecked_writer.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK009"});
+  // Unchecked+uncommitted, and checked-but-in-place; the tmp+CommitFile
+  // function is silent.
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(KkLintTest, Kk010RawThreadFixture) {
+  auto findings = LintFixture("src/engine/kk010_raw_thread.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK010"});
+  EXPECT_EQ(findings.size(), 2u);  // std::thread construction + .detach()
+}
+
 TEST(KkLintTest, WaiversSilenceEveryRule) {
-  auto findings = LintFixture("src/engine/waived.cc");
-  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s), first: "
-                                << (findings.empty() ? "" : findings[0].message);
+  FileLint lint = LintContentFull("src/engine/waived.cc", ReadFixture("src/engine/waived.cc"));
+  EXPECT_TRUE(lint.findings.empty())
+      << lint.findings.size() << " unexpected finding(s), first: "
+      << (lint.findings.empty() ? "" : lint.findings[0].message);
+  // Every waiver in the fixture silences a live finding — none are stale.
+  EXPECT_TRUE(lint.unused_waivers.empty())
+      << "first stale: " << (lint.unused_waivers.empty() ? "" : lint.unused_waivers[0].tag);
 }
 
 // The same violating content is legal outside the rule's path scope.
@@ -115,6 +156,19 @@ TEST(KkLintTest, ScopingDisablesRulesOutsideTheirDirs) {
   EXPECT_TRUE(LintContent("src/graph/kk004_narrowing.cc", sampling_content).empty());
   std::string seed_content = ReadFixture("src/engine/kk002_raw_seed.cc");
   EXPECT_TRUE(LintContent("tests/kk002_raw_seed.cc", seed_content).empty());
+  // The concurrency/time rules stop at the src/ boundary and at their
+  // sanctioned homes inside it.
+  std::string time_content = ReadFixture("src/engine/kk006_ambient_time.cc");
+  EXPECT_TRUE(LintContent("bench/kk006_ambient_time.cc", time_content).empty());
+  EXPECT_TRUE(LintContent("src/obs/kk006_ambient_time.cc", time_content).empty());
+  EXPECT_TRUE(LintContent("src/testing/kk006_ambient_time.cc", time_content).empty());
+  EXPECT_TRUE(LintContent("src/util/timer.h", time_content).empty());
+  std::string mutex_content = ReadFixture("src/engine/kk007_raw_mutex.cc");
+  EXPECT_TRUE(LintContent("src/util/mutex.h", mutex_content).empty());
+  EXPECT_TRUE(LintContent("tools/kk-bench/kk007_raw_mutex.cc", mutex_content).empty());
+  std::string thread_content = ReadFixture("src/engine/kk010_raw_thread.cc");
+  EXPECT_TRUE(LintContent("src/util/thread_pool.cc", thread_content).empty());
+  EXPECT_TRUE(LintContent("src/testing/kk010_raw_thread.cc", thread_content).empty());
 }
 
 // KK001 applies tree-wide but the primitives' home file is exempt.
@@ -170,13 +224,53 @@ TEST(KkLintTest, ParseCompileCommandsExtractsFiles) {
 
 TEST(KkLintTest, RuleCatalogIsCompleteAndStable) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 10u);
   EXPECT_STREQ(rules[0].id, "KK001");
   EXPECT_STREQ(rules[4].id, "KK005");
+  EXPECT_STREQ(rules[5].id, "KK006");
+  EXPECT_STREQ(rules[9].id, "KK010");
+  std::set<std::string> tags;
   for (const auto& r : rules) {
     EXPECT_NE(std::string(r.waiver_tag), "");
     EXPECT_NE(std::string(r.remediation), "");
+    tags.insert(r.waiver_tag);
   }
+  EXPECT_EQ(tags.size(), rules.size());  // waiver tags are unique per rule
+}
+
+// A waiver comment that silences nothing is stale — reported for src/
+// files, where the gated rules and all real waivers live; prose mentions of
+// tags elsewhere (docs, this test file) are not suppressions.
+TEST(KkLintTest, UnusedWaiversAreReported) {
+  std::string stale =
+      "void F() {\n"
+      "  int x = 0;  // kk-lint: raw-seed-ok\n"
+      "  (void)x;\n"
+      "}\n";
+  FileLint lint = LintContentFull("src/engine/stale.cc", stale);
+  EXPECT_TRUE(lint.findings.empty());
+  ASSERT_EQ(lint.unused_waivers.size(), 1u);
+  EXPECT_EQ(lint.unused_waivers[0].tag, "raw-seed-ok");
+  EXPECT_EQ(lint.unused_waivers[0].line, 2u);
+
+  // The identical content outside src/ is not reported.
+  EXPECT_TRUE(LintContentFull("tools/kk-x/stale.cc", stale).unused_waivers.empty());
+
+  // An unknown tag is prose, not a stale waiver.
+  std::string unknown = "int y = 0;  // kk-lint: not-a-real-tag\n";
+  EXPECT_TRUE(LintContentFull("src/engine/unknown.cc", unknown).unused_waivers.empty());
+}
+
+TEST(KkLintTest, UsedWaiverIsNotStale) {
+  std::string content =
+      "#include \"src/util/rng.h\"\n"
+      "knightking::Rng MakeRng() {\n"
+      "  knightking::Rng rng(7);  // kk-lint: raw-seed-ok\n"
+      "  return rng;\n"
+      "}\n";
+  FileLint lint = LintContentFull("src/engine/used.cc", content);
+  EXPECT_TRUE(lint.findings.empty());
+  EXPECT_TRUE(lint.unused_waivers.empty());
 }
 
 }  // namespace

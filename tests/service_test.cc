@@ -153,18 +153,6 @@ TEST(ServiceDeterminismTest, SavedIndexRoundTripsThroughLoad) {
   EXPECT_EQ(ServeTrace(loaded, trace), from_build);
 }
 
-TEST(ServiceDeterminismTest, IdenticalQueriesShareRandomnessWithinABatch) {
-  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
-  service.BuildIndex();
-  ServiceQuery q{QueryKind::kPpr, 11, 25};
-  ASSERT_TRUE(service.Submit(q));
-  ASSERT_TRUE(service.Submit(q));
-  auto results = service.ProcessBatch();
-  ASSERT_EQ(results.size(), 2u);
-  // No cache: both are computed, and must still agree byte for byte.
-  EXPECT_EQ(results[0].Canonical(), results[1].Canonical());
-}
-
 uint64_t CounterValue(const obs::MetricsRegistry& reg, const std::string& name,
                       const std::string& label_value = "") {
   for (const obs::Metric* m : reg.Sorted()) {
@@ -184,6 +172,83 @@ uint64_t CounterValue(const obs::MetricsRegistry& reg, const std::string& name,
   }
   ADD_FAILURE() << "metric not found: " << name;
   return ~uint64_t{0};
+}
+
+// Online index refresh: StageIndex validates and parks a new index without
+// touching the serving path; the next ProcessBatch adopts it at the batch
+// boundary, so no query ever observes a half-swapped index.
+TEST(ServiceStagedIndexTest, StagedIndexIsAdoptedAtTheNextBatchBoundary) {
+  // Build and save a refreshed index with a different shape.
+  WalkServiceOptions big = BaseOptions(WorkersFromEnv(), 0);
+  big.segments_per_vertex = 8;
+  WalkService<EmptyEdgeData> builder(TestGraph(), big);
+  builder.BuildIndex();
+  std::string path = IndexPath("staged");
+  std::string error;
+  ASSERT_TRUE(builder.SaveIndex(path, &error)) << error;
+
+  // A serving instance still on the original (smaller) index.
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  const size_t old_segments = service.index().num_segments();
+  ASSERT_NE(old_segments, builder.index().num_segments());
+
+  ServiceQuery q{QueryKind::kPpr, 7, 20};
+  ASSERT_TRUE(service.Submit(q));
+  ASSERT_EQ(service.ProcessBatch().size(), 1u);
+
+  ASSERT_TRUE(service.StageIndex(path, &error)) << error;
+  // Staging alone must not disturb the serving index.
+  EXPECT_EQ(service.index().num_segments(), old_segments);
+  EXPECT_EQ(service.counters().index_swaps, 0u);
+
+  ASSERT_TRUE(service.Submit(q));
+  auto after = service.ProcessBatch();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(service.counters().index_swaps, 1u);
+  EXPECT_EQ(service.index().num_segments(), builder.index().num_segments());
+
+  // Post-swap responses match a service that loaded the same index directly:
+  // the response stays a pure function of (seed, index, query content).
+  WalkService<EmptyEdgeData> loaded(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  ASSERT_TRUE(loaded.LoadIndex(path, &error)) << error;
+  EXPECT_EQ(loaded.ServeOne(q).Canonical(), after[0].Canonical());
+
+  // The swap shows up in the exported snapshot.
+  obs::MetricsRegistry reg;
+  service.ExportMetrics(reg);
+  EXPECT_EQ(CounterValue(reg, "service.index_swaps"), 1u);
+}
+
+TEST(ServiceStagedIndexTest, StageIndexRefusesForeignIndex) {
+  WalkServiceOptions other = BaseOptions(WorkersFromEnv(), 0);
+  other.seed = kSeed + 1;
+  WalkService<EmptyEdgeData> builder(TestGraph(), other);
+  builder.BuildIndex();
+  std::string path = IndexPath("staged_foreign");
+  std::string error;
+  ASSERT_TRUE(builder.SaveIndex(path, &error)) << error;
+
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  EXPECT_FALSE(service.StageIndex(path, &error));
+  EXPECT_FALSE(error.empty());
+  // The rejected stage leaves serving untouched and counts no swap.
+  ASSERT_TRUE(service.Submit(ServiceQuery{QueryKind::kPpr, 3, 10}));
+  EXPECT_EQ(service.ProcessBatch().size(), 1u);
+  EXPECT_EQ(service.counters().index_swaps, 0u);
+}
+
+TEST(ServiceDeterminismTest, IdenticalQueriesShareRandomnessWithinABatch) {
+  WalkService<EmptyEdgeData> service(TestGraph(), BaseOptions(WorkersFromEnv(), 0));
+  service.BuildIndex();
+  ServiceQuery q{QueryKind::kPpr, 11, 25};
+  ASSERT_TRUE(service.Submit(q));
+  ASSERT_TRUE(service.Submit(q));
+  auto results = service.ProcessBatch();
+  ASSERT_EQ(results.size(), 2u);
+  // No cache: both are computed, and must still agree byte for byte.
+  EXPECT_EQ(results[0].Canonical(), results[1].Canonical());
 }
 
 TEST(ServiceCacheTest, LruEvictionOrderAndCountersMatchExportedMetrics) {

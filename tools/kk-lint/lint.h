@@ -7,11 +7,21 @@
 // src/engine/. Each rule has a stable ID, a one-line remediation, and a
 // waiver comment that silences it at a specific site:
 //
-//   KK001 ambient-randomness   waiver: // kk-lint: ambient-randomness-ok
-//   KK002 raw-seed             waiver: // kk-lint: raw-seed-ok
-//   KK003 unordered-iteration  waiver: // kk-lint: nondeterministic-order-ok
-//   KK004 sampling-narrowing   waiver: // kk-lint: narrow-ok
-//   KK005 unchecked-read       waiver: // kk-lint: unchecked-read-ok
+//   KK001 ambient-randomness     waiver: // kk-lint: ambient-randomness-ok
+//   KK002 raw-seed               waiver: // kk-lint: raw-seed-ok
+//   KK003 unordered-iteration    waiver: // kk-lint: nondeterministic-order-ok
+//   KK004 sampling-narrowing     waiver: // kk-lint: narrow-ok
+//   KK005 unchecked-read         waiver: // kk-lint: unchecked-read-ok
+//   KK006 ambient-time           waiver: // kk-lint: ambient-time-ok
+//   KK007 raw-mutex              waiver: // kk-lint: raw-mutex-ok
+//   KK008 nondet-fp-reduction    waiver: // kk-lint: nondeterministic-reduction-ok
+//   KK009 unchecked-writer       waiver: // kk-lint: unchecked-write-ok
+//   KK010 raw-thread             waiver: // kk-lint: raw-thread-ok
+//
+// Checks always *emit*; waivers are applied centrally after all checks run.
+// That split is what lets the driver report stale waiver comments
+// (--report-unused-waivers): a waiver is "used" exactly when a finding with
+// its tag landed on its line or the line below.
 //
 // See docs/STATIC_ANALYSIS.md for the full catalog and rationale.
 #ifndef TOOLS_KK_LINT_LINT_H_
@@ -30,6 +40,23 @@ struct Finding {
   std::string waiver;   // comment tag that would silence it
 };
 
+// A `// kk-lint: <tag>` comment that silenced nothing: no finding with that
+// tag exists on its line or the line below. Stale waivers are dead
+// suppressions — the code they excused has moved or been fixed — and the
+// tree gate asserts there are none.
+struct UnusedWaiver {
+  std::string tag;
+  std::string path;
+  size_t line = 0;  // 1-based
+};
+
+// Full per-file lint output: findings that survived waiver filtering, plus
+// waiver comments that matched nothing.
+struct FileLint {
+  std::vector<Finding> findings;
+  std::vector<UnusedWaiver> unused_waivers;
+};
+
 struct RuleInfo {
   const char* id;
   const char* name;
@@ -43,12 +70,15 @@ const std::vector<RuleInfo>& Rules();
 
 // Lints one file. `rel_path` is the path relative to the repo root and
 // drives rule scoping; `content` is the file's full text.
+FileLint LintContentFull(const std::string& rel_path, const std::string& content);
+
+// Findings-only convenience wrapper around LintContentFull.
 std::vector<Finding> LintContent(const std::string& rel_path, const std::string& content);
 
-// Reads and lints one file on disk. Returns false (and sets `error`) if the
-// file cannot be read.
-bool LintFile(const std::string& abs_path, const std::string& rel_path,
-              std::vector<Finding>* findings, std::string* error);
+// Reads and lints one file on disk, appending into *out. Returns false (and
+// sets `error`) if the file cannot be read.
+bool LintFile(const std::string& abs_path, const std::string& rel_path, FileLint* out,
+              std::string* error);
 
 // Extracts the translation-unit list from a compile_commands.json blob
 // (minimal parser: every "file": "..." entry).

@@ -1,14 +1,24 @@
 // kk-lint driver.
 //
 // Usage:
-//   kk-lint --root <repo> [--compile-commands <json>] [--fix-list] [file...]
+//   kk-lint --root <repo> [--compile-commands <json>] [--fix-list]
+//           [--report-unused-waivers] [file...]
+//   kk-lint --root <repo> --changed-only <listfile>
 //   kk-lint --list-rules
 //
 // With explicit files, lints exactly those (scoped by their path relative
-// to --root). Otherwise the file list is the translation units from
+// to --root). With --changed-only, lints the files named in <listfile> (one
+// path per line, as produced by `git diff --name-only`), silently skipping
+// deleted files and non-C++ paths — the fast pre-gate for incremental CI.
+// Otherwise the file list is the translation units from
 // compile_commands.json that live under the root, plus every header in the
-// directories those units came from. Exit codes: 0 clean, 1 findings,
-// 2 usage or I/O error.
+// directories those units came from.
+//
+// Exit-code contract (asserted by the lint golden tests, relied on by CI):
+//   0  clean — no findings, and (with --report-unused-waivers) no stale
+//      waiver comments
+//   1  findings (or stale waivers when reporting them)
+//   2  tool or usage error: bad flags, unreadable --root / file / listfile
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -50,8 +60,9 @@ std::string RelativeTo(const fs::path& root, const fs::path& p) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: kk-lint [--root DIR] [--compile-commands FILE] [--fix-list] "
-               "[--list-rules] [file...]\n");
+               "usage: kk-lint [--root DIR] [--compile-commands FILE] [--fix-list]\n"
+               "               [--report-unused-waivers] [--changed-only LISTFILE]\n"
+               "               [--list-rules] [file...]\n");
   return 2;
 }
 
@@ -60,7 +71,9 @@ int Usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string compile_commands;
+  std::string changed_list;
   bool fix_list = false;
+  bool report_unused_waivers = false;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,8 +82,12 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--compile-commands" && i + 1 < argc) {
       compile_commands = argv[++i];
+    } else if (arg == "--changed-only" && i + 1 < argc) {
+      changed_list = argv[++i];
     } else if (arg == "--fix-list") {
       fix_list = true;
+    } else if (arg == "--report-unused-waivers") {
+      report_unused_waivers = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : kklint::Rules()) {
         std::printf("%s %-22s scope: %-60s waiver: // kk-lint: %s\n", r.id, r.name, r.scope,
@@ -85,6 +102,10 @@ int main(int argc, char** argv) {
     } else {
       explicit_files.push_back(arg);
     }
+  }
+  if (!changed_list.empty() && !explicit_files.empty()) {
+    std::fprintf(stderr, "kk-lint: --changed-only and explicit files are exclusive\n");
+    return 2;
   }
 
   std::error_code ec;
@@ -111,7 +132,37 @@ int main(int argc, char** argv) {
     files.emplace_back(abs.string(), rel);
   };
 
-  if (!explicit_files.empty()) {
+  if (!changed_list.empty()) {
+    std::ifstream in(changed_list, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "kk-lint: cannot read %s\n", changed_list.c_str());
+      return 2;
+    }
+    // Change lists are advisory: a renamed or deleted file still appears in
+    // the diff, and non-C++ paths (docs, CMake, YAML) are routine — skip
+    // both silently instead of failing the pre-gate.
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      fs::path p(line);
+      if (!p.is_absolute()) {
+        p = root / p;
+      }
+      if (!fs::exists(p) || !HasSourceExtension(p)) {
+        continue;
+      }
+      add(p);
+    }
+    if (files.empty()) {
+      std::printf("kk-lint: 0 file(s), 0 finding(s) (no lintable changes)\n");
+      return 0;
+    }
+  } else if (!explicit_files.empty()) {
     for (const std::string& f : explicit_files) {
       fs::path p(f);
       if (!p.is_absolute()) {
@@ -160,23 +211,31 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
 
-  std::vector<kklint::Finding> findings;
+  kklint::FileLint all;
   for (const auto& [abs, rel] : files) {
     std::string error;
-    if (!kklint::LintFile(abs, rel, &findings, &error)) {
+    if (!kklint::LintFile(abs, rel, &all, &error)) {
       std::fprintf(stderr, "kk-lint: %s\n", error.c_str());
       return 2;
     }
   }
 
-  for (const auto& f : findings) {
+  for (const auto& f : all.findings) {
     std::printf("%s:%zu: [%s] %s (waive with // kk-lint: %s)\n", f.path.c_str(), f.line,
                 f.rule.c_str(), f.message.c_str(), f.waiver.c_str());
   }
+  size_t stale = 0;
+  if (report_unused_waivers) {
+    for (const auto& w : all.unused_waivers) {
+      std::printf("%s:%zu: [stale-waiver] '// kk-lint: %s' silences nothing; delete it\n",
+                  w.path.c_str(), w.line, w.tag.c_str());
+    }
+    stale = all.unused_waivers.size();
+  }
 
-  if (fix_list && !findings.empty()) {
+  if (fix_list && !all.findings.empty()) {
     std::map<std::string, std::vector<const kklint::Finding*>> by_rule;
-    for (const auto& f : findings) {
+    for (const auto& f : all.findings) {
       by_rule[f.rule].push_back(&f);
     }
     std::printf("\n== fix list ==\n");
@@ -193,6 +252,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("kk-lint: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
-  return findings.empty() ? 0 : 1;
+  std::printf("kk-lint: %zu file(s), %zu finding(s)", files.size(), all.findings.size());
+  if (report_unused_waivers) {
+    std::printf(", %zu stale waiver(s)", stale);
+  }
+  std::printf("\n");
+  return all.findings.empty() && stale == 0 ? 0 : 1;
 }

@@ -1,0 +1,30 @@
+// Fixture: KK006 ambient clock reads in engine logic.
+//
+// Deliberately uses steady_clock/clock_gettime only: time(nullptr) and
+// gettimeofday would ALSO trip KK001's wall-clock-seed pattern, and this
+// fixture pins KK006 in isolation.
+#include <chrono>
+#include <ctime>
+
+#include "src/util/timer.h"
+
+namespace fixture {
+
+double PhaseDeadlineSeconds() {
+  auto now = std::chrono::steady_clock::now();  // KK006: ambient clock read
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+uint64_t RawMonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // KK006: ambient clock read
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+double GoodMeasuredSeconds() {
+  knightking::Timer timer;  // OK: the sanctioned clock wrapper
+  return timer.Seconds();
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: KK007 raw std synchronization primitives outside src/util/mutex.h.
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+struct RawGuarded {
+  std::mutex mu;  // KK007: invisible to the thread-safety analysis
+  std::condition_variable cv;  // KK007: raw condition variable
+  int value = 0;
+
+  void Set(int v) {
+    std::lock_guard<std::mutex> lock(mu);  // KK007: raw lock scope
+    value = v;
+  }
+};
+
+struct GoodGuarded {
+  knightking::Mutex mu;  // OK: annotated wrapper
+  int value KK_GUARDED_BY(mu) = 0;
+
+  void Set(int v) {
+    knightking::MutexLock lock(mu);  // OK: scoped capability
+    value = v;
+  }
+};
+
+}  // namespace fixture

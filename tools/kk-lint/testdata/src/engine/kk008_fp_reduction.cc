@@ -1,0 +1,50 @@
+// Fixture: KK008 floating-point reduction into shared state inside a
+// parallel body.
+#include <cstddef>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace fixture {
+
+double SharedSumOfWeights(knightking::ThreadPool& pool,
+                          const std::vector<double>& weights) {
+  double total = 0.0;
+  pool.ParallelFor(0, weights.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      total += weights[i];  // KK008: schedule-ordered FP summation
+    }
+  });
+  return total;
+}
+
+double PerChunkSumOfWeights(knightking::ThreadPool& pool,
+                            const std::vector<double>& weights,
+                            std::vector<double>* per_chunk) {
+  pool.ParallelFor(0, weights.size(), [&](size_t begin, size_t end) {
+    // OK: the accumulator is declared inside the body, so each chunk sums
+    // its own range deterministically; the merge below is sequential.
+    double local = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      local += weights[i];
+    }
+    (*per_chunk)[begin] = local;
+  });
+  double total = 0.0;
+  for (double chunk : *per_chunk) {
+    total += chunk;  // OK: outside any parallel body
+  }
+  return total;
+}
+
+size_t SharedIntegerCount(knightking::ThreadPool& pool,
+                          const std::vector<int>& flags, size_t* count) {
+  pool.ParallelFor(0, flags.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      *count += flags[i] != 0 ? 1u : 0u;  // OK: integer adds commute exactly
+    }
+  });
+  return *count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: KK009 BinaryFileWriter published without checked Close +
+// CommitFile.
+#include <string>
+#include <vector>
+
+#include "src/engine/checkpoint.h"
+
+namespace fixture {
+
+void DropResultOnTheFloor(const std::string& path, const std::vector<uint32_t>& v) {
+  knightking::BinaryFileWriter w(path);  // KK009: no Close check, no CommitFile
+  w.WriteVec(v);
+  w.Close();
+}
+
+bool CloseCheckedButInPlace(const std::string& path, const std::vector<uint32_t>& v) {
+  knightking::BinaryFileWriter w(path);  // KK009: checked Close, but never CommitFile'd
+  w.WriteVec(v);
+  return w.Close();
+}
+
+bool GoodCommittedWrite(const std::string& path, const std::vector<uint32_t>& v) {
+  const std::string tmp = path + ".tmp";
+  {
+    knightking::BinaryFileWriter w(tmp);  // OK: checked Close, then committed
+    w.WriteVec(v);
+    if (!w.Close()) {
+      return false;
+    }
+  }
+  return knightking::CommitFile(tmp, path);
+}
+
+}  // namespace fixture

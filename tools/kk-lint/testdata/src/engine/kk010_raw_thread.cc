@@ -1,0 +1,17 @@
+// Fixture: KK010 raw std::thread outside ThreadPool and the test harness.
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace fixture {
+
+void FireAndForget(int* out) {
+  std::thread worker([out] { *out = 1; });  // KK010: raw thread
+  worker.detach();  // KK010: detached — escapes shutdown entirely
+}
+
+void GoodPooledWork(knightking::ThreadPool& pool, int* out) {
+  pool.ParallelFor(0, 1, [out](size_t, size_t) { *out = 1; });  // OK
+}
+
+}  // namespace fixture
