@@ -15,8 +15,16 @@
 //   --floor FILE   regression floor file: lines of "<workload> <walks/sec>";
 //                  exit non-zero if measured walks/sec falls more than 2x
 //                  below the floor
-//   --workers N    workers per node          (default 4)
+//   --workers N    workers per node ceiling  (default 4; the topology
+//                  schedule may clamp it to the CPU budget)
 //   --no-sort      disable the locality batch sort (ablation)
+//   --partition-mode MODE  locality grouping: "hier" (cache-geometry
+//                          hierarchy, default) or "legacy" (fixed-bucket sort)
+//   --group-size N within-bucket interleave ring group: 0 = derive from
+//                  cache geometry (default), 1 = ring off (one-ahead
+//                  prefetch), N >= 2 = fixed group size
+//   --schedule S   worker placement: "topology" (NUMA-aware planning +
+//                  binding, default) or "fixed" (honor --workers exactly)
 //   --metrics-out FILE  write a kk-metrics snapshot (engine ExportMetrics,
 //                       one label set per workload) alongside the bench JSON
 //   --trace FILE   record per-phase spans and write chrome://tracing JSON
@@ -41,6 +49,9 @@ struct HotpathConfig {
   bool small = false;
   bool sort_batches = true;
   size_t workers_per_node = 4;
+  PartitionMode partition_mode = PartitionMode::kHierarchical;
+  size_t group_size = 0;  // 0 = geometry default, 1 = ring off
+  WorkerSchedule schedule = WorkerSchedule::kTopology;
   std::string out_path = "BENCH_hotpath.json";
   std::string floor_path;
   std::string metrics_path;
@@ -60,6 +71,14 @@ struct WorkloadResult {
   uint64_t cross_node_messages = 0;
   uint64_t cross_node_bytes = 0;
   CheckpointStats ckpt;
+  // Locality configuration/counters (counters are zero under -DKK_OBS=OFF).
+  uint32_t partition_buckets = 0;
+  uint32_t partition_super_buckets = 0;
+  uint64_t interleave_group = 0;
+  uint64_t partition_batches = 0;
+  uint64_t partition_walkers = 0;
+  uint64_t interleave_groups = 0;
+  size_t effective_workers = 0;
 };
 
 WalkEngineOptions HotpathOptions(const HotpathConfig& config) {
@@ -68,6 +87,9 @@ WalkEngineOptions HotpathOptions(const HotpathConfig& config) {
   opts.workers_per_node = config.workers_per_node;
   opts.parallel_nodes = true;
   opts.seed = kRunSeed;
+  opts.partition_mode = config.partition_mode;
+  opts.interleave_group_size = config.group_size;
+  opts.worker_schedule = config.schedule;
   if (!config.sort_batches) {
     opts.sort_batches = BatchSortMode::kNever;
   }
@@ -98,6 +120,16 @@ WorkloadResult RunWorkload(const std::string& name, const EdgeList<EmptyEdgeData
   result.cross_node_messages = engine.cross_node_messages();
   result.cross_node_bytes = engine.cross_node_bytes();
   result.ckpt = engine.checkpoint_stats();
+  result.partition_buckets = engine.partition_buckets();
+  result.partition_super_buckets = engine.partition_super_buckets();
+  result.interleave_group = engine.interleave_group();
+  result.effective_workers = engine.effective_workers_per_node();
+  for (node_rank_t n = 0; n < opts.num_nodes; ++n) {
+    const auto& acc = engine.node_observability(n);
+    result.partition_batches += acc.partition_batches;
+    result.partition_walkers += acc.partition_walkers;
+    result.interleave_groups += acc.interleave_groups;
+  }
   if (metrics != nullptr) {
     engine.ExportMetrics(*metrics, {{"workload", name}});
   }
@@ -129,6 +161,12 @@ void WriteJson(const HotpathConfig& config, const std::vector<WorkloadResult>& r
   std::fprintf(f, "  \"config\": {\n");
   std::fprintf(f, "    \"small\": %s,\n", config.small ? "true" : "false");
   std::fprintf(f, "    \"sort_batches\": %s,\n", config.sort_batches ? "true" : "false");
+  std::fprintf(f, "    \"partition_mode\": \"%s\",\n",
+               config.partition_mode == PartitionMode::kHierarchical ? "hierarchical"
+                                                                     : "legacy");
+  std::fprintf(f, "    \"interleave_group_size\": %zu,\n", config.group_size);
+  std::fprintf(f, "    \"worker_schedule\": \"%s\",\n",
+               config.schedule == WorkerSchedule::kTopology ? "topology" : "fixed");
   std::fprintf(f, "    \"num_nodes\": 4,\n");
   std::fprintf(f, "    \"workers_per_node\": %zu,\n", config.workers_per_node);
   std::fprintf(f, "    \"checkpoint_every\": %llu,\n",
@@ -164,8 +202,19 @@ void WriteJson(const HotpathConfig& config, const std::vector<WorkloadResult>& r
                  static_cast<unsigned long long>(r.ckpt.checkpoints));
     std::fprintf(f, "      \"checkpoint_bytes\": %llu,\n",
                  static_cast<unsigned long long>(r.ckpt.checkpoint_bytes));
-    std::fprintf(f, "      \"checkpoint_micros\": %llu\n",
+    std::fprintf(f, "      \"checkpoint_micros\": %llu,\n",
                  static_cast<unsigned long long>(r.ckpt.checkpoint_micros));
+    std::fprintf(f, "      \"partition_buckets\": %u,\n", r.partition_buckets);
+    std::fprintf(f, "      \"partition_super_buckets\": %u,\n", r.partition_super_buckets);
+    std::fprintf(f, "      \"interleave_group\": %llu,\n",
+                 static_cast<unsigned long long>(r.interleave_group));
+    std::fprintf(f, "      \"effective_workers\": %zu,\n", r.effective_workers);
+    std::fprintf(f, "      \"partition_batches\": %llu,\n",
+                 static_cast<unsigned long long>(r.partition_batches));
+    std::fprintf(f, "      \"partition_walkers\": %llu,\n",
+                 static_cast<unsigned long long>(r.partition_walkers));
+    std::fprintf(f, "      \"interleave_groups\": %llu\n",
+                 static_cast<unsigned long long>(r.interleave_groups));
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -231,6 +280,28 @@ int Main(int argc, char** argv) {
       config.floor_path = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.workers_per_node = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--partition-mode") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "hier") == 0) {
+        config.partition_mode = PartitionMode::kHierarchical;
+      } else if (std::strcmp(mode, "legacy") == 0) {
+        config.partition_mode = PartitionMode::kLegacySort;
+      } else {
+        std::fprintf(stderr, "bench_hotpath: --partition-mode must be hier or legacy\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--group-size") == 0 && i + 1 < argc) {
+      config.group_size = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      const char* sched = argv[++i];
+      if (std::strcmp(sched, "topology") == 0) {
+        config.schedule = WorkerSchedule::kTopology;
+      } else if (std::strcmp(sched, "fixed") == 0) {
+        config.schedule = WorkerSchedule::kFixed;
+      } else {
+        std::fprintf(stderr, "bench_hotpath: --schedule must be topology or fixed\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       config.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -242,7 +313,9 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--small] [--out FILE] [--floor FILE] "
-                   "[--workers N] [--no-sort] [--metrics-out FILE] [--trace FILE] "
+                   "[--workers N] [--no-sort] [--partition-mode hier|legacy] "
+                   "[--group-size N] [--schedule topology|fixed] "
+                   "[--metrics-out FILE] [--trace FILE] "
                    "[--checkpoint-every N] [--checkpoint-path FILE]\n");
       return 2;
     }

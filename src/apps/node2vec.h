@@ -16,11 +16,13 @@
 #define SRC_APPS_NODE2VEC_H_
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "src/engine/transition.h"
 #include "src/engine/walker.h"
 #include "src/graph/csr.h"
+#include "src/graph/neighbor_index.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
 
@@ -32,6 +34,10 @@ struct Node2VecParams {
   step_t walk_length = 80;
   bool use_lower_bound = true;   // Table 5's "L" optimization
   bool use_outlier = true;       // Table 5's "O" optimization
+  // Answer adjacency queries from a hashed NeighborIndex (O(1) + prefetch
+  // hint) instead of binary-searching the CSR row. Same answers either way;
+  // costs ~16 bytes/edge, built once when the spec is created.
+  bool use_neighbor_index = true;
 };
 
 // Builds the node2vec transition spec. `graph` must outlive the spec (the
@@ -81,9 +87,22 @@ TransitionSpec<EdgeData> Node2VecTransition(const Csr<EdgeData>& graph,
     return w.prev;  // ask t's owner whether e.dst is t's neighbor
   };
 
-  spec.respond_query = [](const Csr<EdgeData>& g, vertex_id_t target, vertex_id_t subject) {
-    return static_cast<uint8_t>(g.HasNeighbor(target, subject) ? 1 : 0);
-  };
+  if (params.use_neighbor_index) {
+    // The index captures the adjacency of `graph` at spec-creation time; like
+    // the outlier closure below, the spec answers about that graph no matter
+    // which Csr reference the engine threads through.
+    auto index = std::make_shared<NeighborIndex>(NeighborIndex::Build(graph));
+    spec.respond_query = [index](const Csr<EdgeData>&, vertex_id_t target,
+                                 vertex_id_t subject) {
+      return static_cast<uint8_t>(index->Contains(target, subject) ? 1 : 0);
+    };
+    spec.prefetch_query = [index](const Csr<EdgeData>&, vertex_id_t target,
+                                  vertex_id_t subject) { index->Prefetch(target, subject); };
+  } else {
+    spec.respond_query = [](const Csr<EdgeData>& g, vertex_id_t target, vertex_id_t subject) {
+      return static_cast<uint8_t>(g.HasNeighbor(target, subject) ? 1 : 0);
+    };
+  }
 
   if (fold_return_edge) {
     spec.outlier_bound = [inv_p](const Walker<>& w, vertex_id_t) {

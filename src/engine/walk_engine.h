@@ -51,9 +51,11 @@
 #include "src/graph/partition.h"
 #include "src/sampling/static_sampler.h"
 #include "src/sampling/stats.h"
+#include "src/util/cache_geometry.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 #include "src/util/mutex.h"
+#include "src/util/numa.h"
 #include "src/util/rng.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
@@ -77,9 +79,36 @@ struct PathEntry {
 // rows and neighbor spans. Observationally safe — walkers carry their own RNG
 // streams, so processing order never changes walk output.
 enum class BatchSortMode {
-  kAuto = 0,    // sort when the batch exceeds sort_batches_threshold
-  kAlways = 1,  // sort every batch (tests / ablations)
+  kAuto = 0,    // group when the estimated touched bytes overflow the L2 share
+  kAlways = 1,  // group every batch (tests / ablations)
   kNever = 2,   // arrival order (pre-overhaul behaviour)
+};
+
+// How the locality pass groups a batch (FlexiWalker-style runtime knob: both
+// strategies stay selectable for A/B and ablation; walk output is
+// byte-identical either way).
+enum class PartitionMode {
+  // Multi-level partitioner: leaf bucket count derived from the graph's
+  // per-vertex footprint and the machine's cache geometry (L1d-sized leaves
+  // nested in L2-sized super-buckets), with all per-walker hot state
+  // scattered into struct-of-arrays bucket storage.
+  kHierarchical = 0,
+  // PR 3 behaviour: single-level counting sort into kLegacySortBuckets
+  // fixed vertex-range buckets, array-of-structs storage.
+  kLegacySort = 1,
+};
+
+// How worker pools are sized and placed.
+enum class WorkerSchedule {
+  // Honor workers_per_node / parallel_nodes exactly and leave threads
+  // unbound. Tests use this: thread counts are part of the test matrix.
+  kFixed = 0,
+  // Plan pools from the machine's CPU/NUMA topology (src/util/numa.h):
+  // clamp worker counts to the CPU budget, give each logical node a
+  // NUMA-compact CPU slice, and bind its driver + pool workers to it so
+  // first-touch allocation lands the node's bucket arenas on its own memory
+  // node. Falls back gracefully on single-CPU or non-NUMA machines.
+  kTopology = 1,
 };
 
 struct WalkEngineOptions {
@@ -129,10 +158,22 @@ struct WalkEngineOptions {
   // simulated network is considered failed, not slow).
   uint32_t max_retries = 64;
   // Locality pass over each node's active batch in full (non-light) mode;
-  // see BatchSortMode. kAuto only pays the sort when the batch is large
-  // enough for cache effects to dominate the O(n log n) cost.
+  // see BatchSortMode. kAuto pays the grouping pass only when the batch's
+  // estimated touched bytes (walker state + distinct vertex rows) no longer
+  // fit the cache share — see ShouldSortBatch.
   BatchSortMode sort_batches = BatchSortMode::kAuto;
-  size_t sort_batches_threshold = 2048;
+  // Floor on batch *size* for kAuto: batches below it never group, whatever
+  // the byte estimate says (the pass itself would dominate).
+  size_t sort_batches_threshold = kMinPartitionBatch;
+  // Grouping strategy for the locality pass (see PartitionMode).
+  PartitionMode partition_mode = PartitionMode::kHierarchical;
+  // Step-interleaving ring (ThunderRW §4): walkers advance in groups of this
+  // size, issuing group k's gather prefetches while group k-1 computes.
+  // 0 derives the group size from cache geometry (kDefaultInterleaveGroup);
+  // 1 disables the ring (legacy one-walker-ahead prefetch); >= 2 fixes it.
+  size_t interleave_group_size = 0;
+  // Worker-pool sizing/placement policy (see WorkerSchedule).
+  WorkerSchedule worker_schedule = WorkerSchedule::kFixed;
   // Trace recording (runtime toggle; see src/obs/trace.h). When non-null the
   // engine records one span per BSP phase per iteration at the driver level
   // plus one span per logical node inside each phase, exportable to
@@ -207,23 +248,56 @@ class WalkEngine {
       degrees[v] = graph_.OutDegree(v);
     }
     partition_ = Partition::FromDegrees(degrees, options_.num_nodes);
+    effective_workers_ = options_.workers_per_node;
+    effective_parallel_nodes_ = options_.parallel_nodes;
+    std::vector<std::vector<int>> node_cpus(options_.num_nodes);
+    std::vector<int> driver_cpus;
+    if (options_.worker_schedule == WorkerSchedule::kTopology) {
+      WorkerPlan plan = PlanWorkers(NumaTopology::Detect(), options_.num_nodes,
+                                    options_.workers_per_node, options_.parallel_nodes);
+      effective_workers_ = plan.workers_per_node;
+      effective_parallel_nodes_ = plan.parallel_nodes && options_.num_nodes > 1;
+      node_cpus = std::move(plan.node_cpus);
+      driver_cpus = std::move(plan.driver_cpus);
+    }
     nodes_.resize(options_.num_nodes);
-    for (auto& node : nodes_) {
-      node = std::make_unique<NodeState>();
-      if (options_.workers_per_node > 0) {
-        node->pool = std::make_unique<ThreadPool>(options_.workers_per_node);
+    for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
+      nodes_[n] = std::make_unique<NodeState>();
+      if (effective_workers_ > 0) {
+        // Workers bind to the node's CPU slice past its driver's CPU
+        // (slice[0]); an empty slice leaves them unbound.
+        std::vector<int> worker_cpus;
+        if (node_cpus[n].size() > 1) {
+          worker_cpus.assign(node_cpus[n].begin() + 1, node_cpus[n].end());
+        }
+        nodes_[n]->pool =
+            std::make_unique<ThreadPool>(effective_workers_, std::move(worker_cpus));
       }
     }
-    if (options_.parallel_nodes && options_.num_nodes > 1) {
+    if (effective_parallel_nodes_ && options_.num_nodes > 1) {
       // Persistent node-driver pool: the calling thread drives one node and
-      // these workers drive the rest (see ForEachNode).
-      driver_pool_ = std::make_unique<ThreadPool>(options_.num_nodes - 1);
+      // these workers drive the rest (see ForEachNode). Under the topology
+      // schedule each driver worker binds to its node's slice head, so the
+      // node's arenas are first-touched NUMA-locally.
+      driver_pool_ =
+          std::make_unique<ThreadPool>(options_.num_nodes - 1, std::move(driver_cpus));
     }
   }
 
   const Csr<EdgeData>& graph() const { return graph_; }
   const Partition& partition() const { return partition_; }
   const WalkEngineOptions& options() const { return options_; }
+
+  // Worker configuration after WorkerSchedule planning (== the requested
+  // options under kFixed).
+  size_t effective_workers_per_node() const { return effective_workers_; }
+  bool effective_parallel_nodes() const { return effective_parallel_nodes_; }
+
+  // Resolved locality configuration of the last (or current) Run.
+  uint32_t partition_buckets() const { return plan_.num_buckets; }
+  uint32_t partition_super_buckets() const { return plan_.num_super; }
+  size_t interleave_group() const { return interleave_group_; }
+  const CacheGeometry& cache_geometry() const { return cache_geo_; }
 
   // Reseeds subsequent Runs (multi-round deployments: §1's "repeated for
   // multiple rounds" run R rounds with distinct seeds over one engine).
@@ -238,6 +312,9 @@ class WalkEngine {
     KK_CHECK(!transition.IsSecondOrder() || transition.respond_query);
     second_order_ = transition.IsSecondOrder();
     dynamic_ = transition.IsDynamic();
+    interleave_group_ = options_.interleave_group_size == 0
+                            ? kDefaultInterleaveGroup
+                            : options_.interleave_group_size;
 
     phase_times_ = EnginePhaseTimes{};
     ckpt_stats_ = CheckpointStats{};
@@ -550,10 +627,19 @@ class WalkEngine {
     out.SetGauge("engine.phase_seconds", with({{"phase", "respond"}}), phase_times_.respond);
     out.SetGauge("engine.phase_seconds", with({{"phase", "resolve"}}), phase_times_.resolve);
     out.SetGauge("engine.phase_seconds", with({{"phase", "exchange"}}), phase_times_.exchange);
+    // Locality configuration as resolved for the last Run: chosen bucket
+    // hierarchy and ring group size. Pure functions of (graph, options,
+    // machine geometry), so stable within a host.
+    out.SetGauge("engine.partition_buckets", with({}), plan_.num_buckets,
+                 /*stable=*/true);
+    out.SetGauge("engine.partition_super_buckets", with({}), plan_.num_super,
+                 /*stable=*/true);
+    out.SetGauge("engine.interleave_group_size", with({}),
+                 static_cast<double>(interleave_group_), /*stable=*/true);
     if (obs::kObsEnabled) {
       // Scratch-pool reuse depends on worker-pool scheduling, so it is only
       // a stable (run-to-run comparable) metric when chunks run inline.
-      const bool scratch_stable = options_.workers_per_node == 0;
+      const bool scratch_stable = effective_workers_ == 0;
       for (node_rank_t n = 0; n < options_.num_nodes; ++n) {
         MutexLock node_lock(nodes_[n]->merge_mutex);  // post-Run, uncontended
         const obs::PhaseAccumulator& acc = nodes_[n]->obs;
@@ -575,6 +661,13 @@ class WalkEngine {
         out.AddCounter("engine.scratch_pool.misses", with(node_label), acc.scratch_misses,
                        scratch_stable);
         out.AddCounter("engine.batch_sorts", with(node_label), acc.batch_sorts);
+        // Deterministic for a given configuration: the partition decision is
+        // driver-side, and ring-group counts follow chunk boundaries, which
+        // are a pure function of (batch sizes, chunk_size, worker count) —
+        // not of runtime scheduling.
+        out.AddCounter("engine.partition_batches", with(node_label), acc.partition_batches);
+        out.AddCounter("engine.partition_walkers", with(node_label), acc.partition_walkers);
+        out.AddCounter("engine.interleave_groups", with(node_label), acc.interleave_groups);
       }
     }
     auto export_mailbox = [&](const char* name, const auto& mail) {
@@ -671,6 +764,7 @@ class WalkEngine {
     std::vector<InFlightMove> tracked;  // copies awaiting acknowledgement
     std::vector<PathEntry> paths;
     SamplingStats stats;
+    uint64_t interleave_groups = 0;  // ring groups this chunk ran (obs)
 
     // Empties every buffer while retaining capacity. Batch Post moves the
     // *elements* out of the per-destination vectors but leaves the vectors'
@@ -693,6 +787,7 @@ class WalkEngine {
       tracked.clear();
       paths.clear();
       stats = SamplingStats{};
+      interleave_groups = 0;
     }
   };
 
@@ -725,9 +820,14 @@ class WalkEngine {
     // reused across iterations.
     std::vector<std::vector<QueryMsg>> requery_out;
     // Reused counting-sort buffers for the locality pass (driver-only per
-    // node; see SortBatchByLocality).
+    // node; see SortBatchByLocality / ScatterBatch).
     std::vector<WalkerT> sort_tmp_walkers;
     std::vector<uint32_t> sort_bucket_counts;
+    // Struct-of-arrays bucket storage for the hierarchical partitioner
+    // (node-exclusive, like `active`). Cleared-not-shrunk per iteration;
+    // first touch happens on the node's phase-driver thread, so under the
+    // topology schedule the arena lives on the node's own NUMA domain.
+    WalkerSoa<WalkerState> part;
   };
 
   // Pops a cleared scratch from the node's freelist (or makes the pool's
@@ -840,6 +940,61 @@ class WalkEngine {
         });
       }
     }
+    BuildPartitionPlan();
+  }
+
+  // Sizes the walker partition hierarchy from the graph's actual per-vertex
+  // footprint and the detected cache geometry: leaf buckets hold a ~half-L2
+  // slice of hot vertex state, nested inside LLC-sized super-buckets (leaf
+  // count rounded up to a multiple of the super count so leaves never
+  // straddle a super boundary). Boundaries are degree-aware — cut at equal
+  // footprint, not equal vertex count — so one hub-heavy bucket cannot blow
+  // its cache budget. The vertex -> leaf lookup table is rebuilt with the
+  // static state; hierarchical ordering also visits vertices in super-bucket
+  // order implicitly because leaf ids are monotone in vertex id.
+  void BuildPartitionPlan() {
+    const vertex_id_t num_v = graph_.num_vertices();
+    const uint64_t adj_bytes = graph_.num_edges() * sizeof(AdjT);
+    const uint64_t env_bytes = (upper_.size() + lower_.size()) * sizeof(real_t);
+    plan_.footprint_bytes = adj_bytes + sampler_.MemoryBytes() + env_bytes;
+    plan_.bytes_per_vertex =
+        num_v > 0 ? std::max<uint64_t>(1, plan_.footprint_bytes / num_v) : 1;
+    if (options_.partition_mode != PartitionMode::kHierarchical || num_v == 0) {
+      plan_.num_buckets = 1;
+      plan_.num_super = 1;
+      plan_.vertex_bucket.clear();
+      return;
+    }
+    uint32_t buckets = PartitionBucketCount(plan_.footprint_bytes, cache_geo_);
+    const uint32_t super = PartitionSuperCount(plan_.footprint_bytes, cache_geo_);
+    buckets = std::max(buckets, super);
+    buckets = (buckets + super - 1) / super * super;
+    buckets = std::min(buckets, kMaxPartitionBuckets);
+    plan_.num_buckets = buckets;
+    plan_.num_super = super;
+    // Per-vertex footprint: adjacency + the sampler's per-edge share, plus
+    // the envelope scalars. Integer math in 1/256ths of a byte per edge
+    // keeps the cuts deterministic across platforms.
+    const uint64_t edges = std::max<uint64_t>(1, graph_.num_edges());
+    const uint64_t per_edge_256 =
+        ((adj_bytes + sampler_.MemoryBytes()) * 256) / edges;
+    const uint64_t per_vertex_256 = (env_bytes * 256) / num_v;
+    uint64_t total_256 = 0;
+    for (vertex_id_t v = 0; v < num_v; ++v) {
+      total_256 += graph_.OutDegree(v) * per_edge_256 + per_vertex_256;
+    }
+    const uint64_t target_256 = std::max<uint64_t>(1, total_256 / buckets);
+    plan_.vertex_bucket.assign(num_v, 0);
+    uint64_t acc = 0;
+    uint32_t bucket = 0;
+    for (vertex_id_t v = 0; v < num_v; ++v) {
+      if (acc >= target_256 && bucket + 1 < buckets) {
+        acc -= target_256;
+        ++bucket;
+      }
+      plan_.vertex_bucket[v] = bucket;
+      acc += graph_.OutDegree(v) * per_edge_256 + per_vertex_256;
+    }
   }
 
   void DeployWalkers() {
@@ -921,8 +1076,13 @@ class WalkEngine {
   // Locality pass (§6.2 scheduling + the access-ordering insight ThunderRW
   // and FlashMob quantify): processing a batch in `cur` order turns the
   // sampler-row and neighbor-span accesses of consecutive walkers into reuse
-  // hits instead of random misses. kAuto pays the O(n) grouping pass only for
-  // full-mode batches; inline light-mode batches are too small to win.
+  // hits instead of random misses. kAuto estimates the bytes the batch will
+  // actually touch — its own walker state plus one vertex row per distinct
+  // landing vertex — and pays the O(n) grouping pass only once that working
+  // set overflows the cache share a bucket targets; below that everything
+  // stays resident regardless of order. The estimate uses the partition
+  // plan's measured bytes-per-vertex, so heavier per-walker app state and
+  // denser graphs both lower the trip point.
   bool ShouldSortBatch(size_t batch_size) const {
     switch (options_.sort_batches) {
       case BatchSortMode::kNever:
@@ -935,7 +1095,14 @@ class WalkEngine {
     if (options_.enable_light_mode && batch_size < options_.light_mode_threshold) {
       return false;  // light mode: the node runs inline on a small tail
     }
-    return batch_size >= options_.sort_batches_threshold;
+    if (batch_size < options_.sort_batches_threshold) {
+      return false;
+    }
+    const uint64_t walker_bytes = batch_size * sizeof(WalkerT);
+    const uint64_t rows =
+        std::min<uint64_t>(batch_size, graph_.num_vertices());
+    const uint64_t touched = walker_bytes + rows * plan_.bytes_per_vertex;
+    return touched > cache_geo_.l2_bytes / kBucketCacheShareDiv;
   }
 
   // Fault-free runs answer every query within its own superstep, so parked
@@ -947,28 +1114,23 @@ class WalkEngine {
   // walker's RNG stream is its own, so resolution order is unobservable.
   bool FastQueryProtocol() const { return !reliable_ && !options_.deterministic; }
 
-  // Vertex-range buckets for the locality pass: coarse enough that one stable
-  // O(n) counting pass beats a comparison sort, fine enough that a bucket's
-  // sampler rows span a cache-sized slice of the tables.
-  static constexpr size_t kLocalityBuckets = 256;
-
-  // Groups `batch` by cur's vertex-range bucket with a stable counting sort
-  // into a per-node reused buffer (steady state allocates nothing). The pass
-  // is a pure function of message content plus input order; deterministic
-  // mode feeds it an id-canonical batch, so the grouped order is canonical
-  // too. Never observable in walk output — each walker's RNG stream is its
-  // own.
+  // Legacy locality pass (PartitionMode::kLegacySort): groups `batch` by
+  // cur's vertex-range bucket with a stable counting sort into a per-node
+  // reused buffer (steady state allocates nothing). The pass is a pure
+  // function of message content plus input order; deterministic mode feeds
+  // it an id-canonical batch, so the grouped order is canonical too. Never
+  // observable in walk output — each walker's RNG stream is its own.
   void SortBatchByLocality(NodeState& node, std::vector<WalkerT>& batch) {
     uint64_t num_v = graph_.num_vertices();
     auto bucket_of = [num_v](const WalkerT& w) {
-      return static_cast<size_t>(static_cast<uint64_t>(w.cur) * kLocalityBuckets / num_v);
+      return static_cast<size_t>(static_cast<uint64_t>(w.cur) * kLegacySortBuckets / num_v);
     };
     std::vector<uint32_t>& counts = node.sort_bucket_counts;
-    counts.assign(kLocalityBuckets + 1, 0);
+    counts.assign(kLegacySortBuckets + 1, 0);
     for (const WalkerT& w : batch) {
       counts[bucket_of(w) + 1] += 1;
     }
-    for (size_t b = 0; b < kLocalityBuckets; ++b) {
+    for (size_t b = 0; b < kLegacySortBuckets; ++b) {
       counts[b + 1] += counts[b];
     }
     std::vector<WalkerT>& tmp = node.sort_tmp_walkers;
@@ -977,6 +1139,69 @@ class WalkEngine {
       tmp[counts[bucket_of(w)]++] = std::move(w);
     }
     batch.swap(tmp);
+  }
+
+  // Hierarchical locality pass: scatters `batch` into the node's
+  // struct-of-arrays arena in leaf-bucket order (stable counting scatter, so
+  // deterministic mode's id-canonical input stays canonical within each
+  // bucket). After the scatter every hot stream the step kernel reads —
+  // cur, step, RNG block, app state — is a dense sequential array, and
+  // consecutive walkers' graph/sampler rows fall inside one L2-sized vertex
+  // range. Same observational-safety argument as the legacy sort.
+  void ScatterBatch(NodeState& node, std::vector<WalkerT>& batch) {
+    const std::vector<uint32_t>& vb = plan_.vertex_bucket;
+    std::vector<uint32_t>& counts = node.sort_bucket_counts;
+    counts.assign(plan_.num_buckets + 1, 0);
+    for (const WalkerT& w : batch) {
+      counts[vb[w.cur] + 1] += 1;
+    }
+    for (size_t b = 0; b < plan_.num_buckets; ++b) {
+      counts[b + 1] += counts[b];
+    }
+    WalkerSoa<WalkerState>& soa = node.part;
+    soa.Resize(batch.size());
+    for (const WalkerT& w : batch) {
+      soa.Set(counts[vb[w.cur]]++, w);
+    }
+    batch.clear();
+  }
+
+  // ThunderRW-style step-interleaving ring: runs body(i) over [begin, end)
+  // in groups of `group`, issuing prefetch(j) for all of group k while group
+  // k-1 computes — the gather stage's cache misses overlap the previous
+  // group's sample/advance work instead of serializing with it. Returns the
+  // number of groups run (observability). group <= 1 degrades to the legacy
+  // one-ahead prefetch and reports zero groups.
+  template <typename PrefetchFn, typename BodyFn>
+  static uint64_t InterleavedRun(size_t begin, size_t end, size_t group,
+                                 const PrefetchFn& prefetch, const BodyFn& body) {
+    if (group <= 1) {
+      for (size_t i = begin; i < end; ++i) {
+        if (i + 1 < end) {
+          prefetch(i + 1);
+        }
+        body(i);
+      }
+      return 0;
+    }
+    uint64_t groups = 0;
+    size_t prefetched = std::min(begin + group, end);
+    for (size_t i = begin; i < prefetched; ++i) {
+      prefetch(i);
+    }
+    for (size_t g = begin; g < end; g += group) {
+      const size_t g_end = std::min(g + group, end);
+      const size_t next_end = std::min(g_end + group, end);
+      for (size_t i = prefetched; i < next_end; ++i) {
+        prefetch(i);
+      }
+      prefetched = next_end;
+      for (size_t i = g; i < g_end; ++i) {
+        body(i);
+      }
+      ++groups;
+    }
+    return groups;
   }
 
   // Pulls the next walker's graph/sampler rows toward the cache while the
@@ -1124,6 +1349,14 @@ class WalkEngine {
       return;
     }
     node_rank_t dst_node = partition_.OwnerOf(w.cur);
+    if (dst_node == src_node && !reliable_) {
+      // Local landing, fault-free: skip the mailbox round trip. The walker
+      // joins next_active through the same merge as stay-put walkers; walk
+      // output is order-independent (per-walker RNG streams), and the
+      // deterministic mode's canonical sort covers the batch order.
+      scratch.stay.push_back(std::move(w));
+      return;
+    }
     if (dst_node != src_node) {
       scratch.stats.walker_moves_remote += 1;
     }
@@ -1212,27 +1445,35 @@ class WalkEngine {
   // buffer as one batch Post per destination (one channel lock per batch,
   // not one per message).
   void MergeScratch(NodeState& node, node_rank_t node_rank, Scratch& scratch, obs::Phase phase) {
-    size_t num_queries = 0;
-    for (const auto& q : scratch.queries) {
-      num_queries += q.size();
-    }
-    KK_CHECK(scratch.pending_trials.size() == num_queries);
     size_t parked_base = 0;
     {
       MutexLock lock(node.merge_mutex);
       node.stats.Merge(scratch.stats);
       node.obs.MergeStats(phase, scratch.stats);
-      node.next_active.insert(node.next_active.end(),
-                              std::make_move_iterator(scratch.stay.begin()),
-                              std::make_move_iterator(scratch.stay.end()));
+      node.obs.CountInterleave(scratch.interleave_groups);
+      if (node.next_active.empty()) {
+        // First merge of the iteration (always, in inline mode): adopt the
+        // chunk's buffer wholesale instead of copying walkers one by one.
+        // Capacities circulate — the scratch inherits next_active's drained
+        // storage and refills it next acquisition.
+        node.next_active.swap(scratch.stay);
+      } else {
+        node.next_active.insert(node.next_active.end(),
+                                std::make_move_iterator(scratch.stay.begin()),
+                                std::make_move_iterator(scratch.stay.end()));
+      }
       node.path_log.insert(node.path_log.end(), scratch.paths.begin(), scratch.paths.end());
       if (FastQueryProtocol()) {
         // Fault-free fast protocol: parked trials append to a flat vector;
         // their queries are index-keyed, so no per-walker map is needed.
         parked_base = node.parked.size();
-        node.parked.insert(node.parked.end(),
-                           std::make_move_iterator(scratch.pending_trials.begin()),
-                           std::make_move_iterator(scratch.pending_trials.end()));
+        if (parked_base == 0) {
+          node.parked.swap(scratch.pending_trials);
+        } else {
+          node.parked.insert(node.parked.end(),
+                             std::make_move_iterator(scratch.pending_trials.begin()),
+                             std::make_move_iterator(scratch.pending_trials.end()));
+        }
       } else {
         for (auto& trial : scratch.pending_trials) {
           walker_id_t id = trial.walker.id;
@@ -1409,32 +1650,68 @@ class WalkEngine {
     obs::TraceRecorder* const trace = options_.trace;
     double span_start = trace != nullptr ? trace->Now() : 0.0;
 
-    // Phase A: every active walker performs its sampling work.
+    // Phase A: every active walker performs its sampling work. The locality
+    // pass groups the batch first (hierarchical SoA scatter or legacy AoS
+    // sort); the step kernel then runs the interleave ring, overlapping the
+    // next group's gather misses with the current group's compute. Both
+    // knobs are unobservable in walk output — each walker's RNG stream is
+    // its own.
     ForEachNode([&](node_rank_t n) {
       NodeState& node = *nodes_[n];
       double node_start = trace != nullptr ? trace->Now() : 0.0;
       std::vector<WalkerT> batch = std::move(node.active);
       node.active.clear();
+      bool partitioned = false;
       if (ShouldSortBatch(batch.size())) {
-        SortBatchByLocality(node, batch);
-        MutexLock lock(node.merge_mutex);  // pre-dispatch, uncontended
-        node.obs.CountBatchSort();
-      }
-      ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
-        std::unique_ptr<Scratch> scratch = AcquireScratch(node);
-        for (size_t i = begin; i < end; ++i) {
-          if (i + 1 < end) {
-            PrefetchWalkerRows(batch[i + 1].cur);
-          }
-          if (second_order_) {
-            SecondOrderTrial(batch[i], n, *scratch);
-          } else {
-            LockstepWalk(batch[i], n, *scratch);
-          }
+        if (options_.partition_mode == PartitionMode::kHierarchical) {
+          ScatterBatch(node, batch);
+          partitioned = true;
+          MutexLock lock(node.merge_mutex);  // pre-dispatch, uncontended
+          node.obs.CountPartition(node.part.size());
+        } else {
+          SortBatchByLocality(node, batch);
+          MutexLock lock(node.merge_mutex);  // pre-dispatch, uncontended
+          node.obs.CountBatchSort();
         }
+      }
+      auto run_chunk = [&](size_t begin, size_t end, const auto& cur_of,
+                           const auto& step_one) {
+        std::unique_ptr<Scratch> scratch = AcquireScratch(node);
+        scratch->interleave_groups += InterleavedRun(
+            begin, end, interleave_group_,
+            [&](size_t i) { PrefetchWalkerRows(cur_of(i)); },
+            [&](size_t i) { step_one(i, *scratch); });
         MergeScratch(node, n, *scratch, obs::Phase::kSample);
         ReleaseScratch(node, std::move(scratch));
-      });
+      };
+      if (partitioned) {
+        const WalkerSoa<WalkerState>& soa = node.part;
+        ParallelOver(node, soa.size(), [&](size_t begin, size_t end) {
+          run_chunk(
+              begin, end, [&](size_t i) { return soa.cur[i]; },
+              [&](size_t i, Scratch& scratch) {
+                WalkerT w = soa.Get(i);
+                if (second_order_) {
+                  SecondOrderTrial(w, n, scratch);
+                } else {
+                  LockstepWalk(w, n, scratch);
+                }
+              });
+        });
+        node.part.Clear();
+      } else {
+        ParallelOver(node, batch.size(), [&](size_t begin, size_t end) {
+          run_chunk(
+              begin, end, [&](size_t i) { return batch[i].cur; },
+              [&](size_t i, Scratch& scratch) {
+                if (second_order_) {
+                  SecondOrderTrial(batch[i], n, scratch);
+                } else {
+                  LockstepWalk(batch[i], n, scratch);
+                }
+              });
+        });
+      }
       if (trace != nullptr) {
         trace->RecordSpan("sample", n + 1u, 0, node_start, trace->Now() - node_start, superstep_);
       }
@@ -1466,11 +1743,37 @@ class WalkEngine {
         }
         ParallelOver(node, inbox.size(), [&](size_t begin, size_t end) {
           std::unique_ptr<Scratch> scratch = AcquireScratch(node);
-          for (size_t i = begin; i < end; ++i) {
+          auto answer = [&](size_t i) {
             const QueryMsg& q = inbox[i];
             KK_DCHECK(partition_.Owns(n, q.target));
             QueryResponse payload = transition_->respond_query(graph_, q.target, q.subject);
             scratch->responses[q.origin].push_back({q.walker, q.epoch, payload});
+          };
+          if (interleave_group_ > 1) {
+            // The respond phase is a pure gather over whatever rows the
+            // transition's answer touches; the ring hides their misses
+            // behind the previous group's answers. prefetch_query lets the
+            // app target its own lookup structure (node2vec's hash index);
+            // the default pulls the queried vertex's adjacency row.
+            const uint64_t groups = InterleavedRun(
+                begin, end, interleave_group_,
+                [&](size_t i) {
+                  const QueryMsg& q = inbox[i];
+                  if (transition_->prefetch_query) {
+                    transition_->prefetch_query(graph_, q.target, q.subject);
+                  } else {
+                    graph_.PrefetchNeighbors(q.target);
+                  }
+                },
+                answer);
+            if (obs::kObsEnabled && groups > 0) {
+              MutexLock lock(node.merge_mutex);
+              node.obs.CountInterleave(groups);
+            }
+          } else {
+            for (size_t i = begin; i < end; ++i) {
+              answer(i);
+            }
           }
           for (node_rank_t dst = 0; dst < options_.num_nodes; ++dst) {
             response_mail_->Post(n, dst, std::move(scratch->responses[dst]));
@@ -1586,23 +1889,23 @@ class WalkEngine {
         // heavy enough that another counting pass costs more than it saves.
         ParallelOver(node, resolved.size(), [&](size_t begin, size_t end) {
           std::unique_ptr<Scratch> scratch = AcquireScratch(node);
-          for (size_t i = begin; i < end; ++i) {
-            if (i + 1 < end) {
-              PrefetchWalkerRows(resolved[i + 1].walker.cur);
-            }
-            PendingTrial& trial = resolved[i];
-            WalkerT& w = trial.walker;
-            const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
-            scratch->stats.pd_computations += 1;
-            real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
-            if (trial.y < pd) {
-              scratch->stats.trial_accepts += 1;
-              CommitMove(w, trial.candidate, n, *scratch);
-            } else {
-              scratch->stats.trial_rejects += 1;
-              scratch->stay.push_back(std::move(w));
-            }
-          }
+          scratch->interleave_groups += InterleavedRun(
+              begin, end, interleave_group_,
+              [&](size_t i) { PrefetchWalkerRows(resolved[i].walker.cur); },
+              [&](size_t i) {
+                PendingTrial& trial = resolved[i];
+                WalkerT& w = trial.walker;
+                const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
+                scratch->stats.pd_computations += 1;
+                real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
+                if (trial.y < pd) {
+                  scratch->stats.trial_accepts += 1;
+                  CommitMove(w, trial.candidate, n, *scratch);
+                } else {
+                  scratch->stats.trial_rejects += 1;
+                  scratch->stay.push_back(std::move(w));
+                }
+              });
           MergeScratch(node, n, *scratch, obs::Phase::kResolve);
           ReleaseScratch(node, std::move(scratch));
         });
@@ -1727,9 +2030,28 @@ class WalkEngine {
     }
   }
 
+  // Resolved walker partition hierarchy (BuildPartitionPlan). Rebuilt with
+  // the static state; scalar fields stay valid for metrics between Runs.
+  struct PartitionPlan {
+    std::vector<uint32_t> vertex_bucket;  // vertex -> leaf bucket id
+    uint32_t num_buckets = 1;
+    uint32_t num_super = 1;
+    uint64_t footprint_bytes = 0;   // total per-vertex hot-state bytes
+    uint64_t bytes_per_vertex = 1;  // average row footprint (kAuto heuristic)
+  };
+
   Csr<EdgeData> graph_;
   WalkEngineOptions options_;
   Partition partition_;
+  // Cache geometry detected once per engine; the partition plan and the
+  // kAuto grouping heuristic both derive from it.
+  CacheGeometry cache_geo_ = CacheGeometry::Detect();
+  PartitionPlan plan_;
+  // Ring group size resolved at Run start (0-option -> geometry default).
+  size_t interleave_group_ = 1;
+  // Worker configuration after WorkerSchedule planning.
+  size_t effective_workers_ = 0;
+  bool effective_parallel_nodes_ = false;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   // Persistent driver pool for parallel_nodes mode (null otherwise).
   std::unique_ptr<ThreadPool> driver_pool_;

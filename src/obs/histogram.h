@@ -19,6 +19,8 @@ namespace obs {
 
 class LatencyHistogram {
  public:
+  // One bucket per uint64 bit width — a log2 histogram shape, not cache
+  // tuning. kk-lint: cache-geometry-ok
   static constexpr int kNumBuckets = 64;
 
   void Record(uint64_t nanos) {

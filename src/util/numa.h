@@ -1,0 +1,258 @@
+// NUMA / CPU topology detection and worker placement.
+//
+// The engine can bind each logical node's ThreadPool workers to a compact
+// slice of CPUs on one NUMA domain (WorkerSchedule::kTopology), so a node's
+// bucket storage — first-touched by its bound driver thread — lands on the
+// memory node its workers read from. Everything degrades gracefully:
+//
+//   * no /sys/devices/system/node tree  -> one synthetic domain holding every
+//     CPU the process may run on;
+//   * non-Linux platform                -> binding is a no-op, topology falls
+//     back to std::thread::hardware_concurrency();
+//   * fewer CPUs than logical nodes     -> PlanWorkers serializes nodes and
+//     shrinks pools instead of oversubscribing.
+//
+// No libnuma dependency: detection parses sysfs, binding uses
+// sched_setaffinity, and NUMA-local allocation relies on first-touch placement
+// by the bound owning thread.
+#ifndef SRC_UTIL_NUMA_H_
+#define SRC_UTIL_NUMA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace knightking {
+
+// CPUs the current process is allowed to run on, in ascending order. Respects
+// cgroup/affinity restrictions on Linux; elsewhere a dense [0, N) range.
+inline std::vector<int> AvailableCpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (size_t cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) {
+        cpus.push_back(static_cast<int>(cpu));
+      }
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    // Capacity query only, no thread creation. kk-lint: raw-thread-ok
+    unsigned n = std::thread::hardware_concurrency();
+    for (unsigned cpu = 0; cpu < std::max(1u, n); ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+  }
+  return cpus;
+}
+
+// Pins the calling thread to one CPU. Returns false (and changes nothing) on
+// failure or off Linux; callers treat binding as advisory.
+inline bool BindCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+struct NumaTopology {
+  // CPUs per NUMA domain, restricted to AvailableCpus(); empty domains are
+  // dropped, so every entry is non-empty and the vector itself never is.
+  std::vector<std::vector<int>> domain_cpus;
+  bool detected = false;
+
+  size_t num_domains() const { return domain_cpus.size(); }
+
+  size_t total_cpus() const {
+    size_t n = 0;
+    for (const auto& d : domain_cpus) {
+      n += d.size();
+    }
+    return n;
+  }
+
+  static NumaTopology Fallback() {
+    NumaTopology topo;
+    topo.domain_cpus.push_back(AvailableCpus());
+    return topo;
+  }
+
+  // Parses /sys/devices/system/node/node<k>/cpulist ("0-3,8-11" syntax). The
+  // root is a parameter so tests can supply a synthetic tree; any parse
+  // problem or an empty result falls back to one domain.
+  static NumaTopology Detect(const std::string& node_root = "/sys/devices/system/node") {
+    const std::vector<int> avail = AvailableCpus();
+    NumaTopology topo;
+    for (int node = 0; node < 1024; ++node) {
+      std::ifstream in(node_root + "/node" + std::to_string(node) + "/cpulist");
+      if (!in) {
+        break;  // node directories are contiguous
+      }
+      std::string list;
+      std::getline(in, list);
+      std::vector<int> cpus;
+      if (!ParseCpuList(list, &cpus)) {
+        return Fallback();
+      }
+      // Keep only CPUs the process may actually use.
+      std::vector<int> usable;
+      for (int cpu : cpus) {
+        if (std::binary_search(avail.begin(), avail.end(), cpu)) {
+          usable.push_back(cpu);
+        }
+      }
+      if (!usable.empty()) {
+        topo.domain_cpus.push_back(std::move(usable));
+      }
+    }
+    if (topo.domain_cpus.empty()) {
+      return Fallback();
+    }
+    topo.detected = true;
+    return topo;
+  }
+
+ private:
+  static bool ParseCpuList(const std::string& list, std::vector<int>* out) {
+    size_t pos = 0;
+    while (pos < list.size()) {
+      int lo = 0;
+      size_t start = pos;
+      while (pos < list.size() && list[pos] >= '0' && list[pos] <= '9') {
+        lo = lo * 10 + (list[pos] - '0');
+        ++pos;
+      }
+      if (pos == start) {
+        return false;
+      }
+      int hi = lo;
+      if (pos < list.size() && list[pos] == '-') {
+        ++pos;
+        hi = 0;
+        start = pos;
+        while (pos < list.size() && list[pos] >= '0' && list[pos] <= '9') {
+          hi = hi * 10 + (list[pos] - '0');
+          ++pos;
+        }
+        if (pos == start || hi < lo) {
+          return false;
+        }
+      }
+      for (int cpu = lo; cpu <= hi; ++cpu) {
+        out->push_back(cpu);
+      }
+      if (pos < list.size()) {
+        if (list[pos] != ',') {
+          return false;
+        }
+        ++pos;
+      }
+    }
+    return !out->empty();
+  }
+};
+
+// Concrete placement for one engine: how many workers each logical node's
+// pool gets, whether node phases run concurrently, and which CPU each thread
+// binds to (empty bind lists mean "leave unbound").
+struct WorkerPlan {
+  bool parallel_nodes = false;
+  size_t workers_per_node = 0;
+  // Per logical node: the CPU slice its phase driver and pool workers bind
+  // to (slice[0] is the driver's CPU, the rest are worker CPUs).
+  std::vector<std::vector<int>> node_cpus;
+  // Bind targets for the engine's driver pool (one per driver-pool worker).
+  std::vector<int> driver_cpus;
+};
+
+// Plans worker placement for `num_nodes` logical nodes over `topo`.
+// Logical nodes are assigned to NUMA domains round-robin; each domain's CPUs
+// are split contiguously among its nodes so a node's threads share a domain.
+// `requested_workers` / `requested_parallel` are honored as ceilings: the
+// plan never creates more runnable threads than there are CPUs.
+inline WorkerPlan PlanWorkers(const NumaTopology& topo, size_t num_nodes,
+                              size_t requested_workers, bool requested_parallel) {
+  WorkerPlan plan;
+  const size_t total = topo.total_cpus();
+  if (num_nodes == 0) {
+    return plan;
+  }
+  plan.node_cpus.assign(num_nodes, {});
+  if (total <= 1) {
+    // One CPU: threads only add context-switch overhead; run everything
+    // inline on the caller.
+    return plan;
+  }
+  plan.parallel_nodes = requested_parallel && num_nodes > 1 && total >= num_nodes;
+  if (plan.parallel_nodes) {
+    // Round-robin nodes over domains, then split each domain contiguously.
+    const size_t domains = topo.num_domains();
+    std::vector<std::vector<size_t>> domain_nodes(domains);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      domain_nodes[n % domains].push_back(n);
+    }
+    size_t min_slice = total;  // smallest per-node CPU slice across domains
+    for (size_t d = 0; d < domains; ++d) {
+      const std::vector<int>& cpus = topo.domain_cpus[d];
+      const size_t nodes_here = domain_nodes[d].size();
+      if (nodes_here == 0) {
+        continue;
+      }
+      const size_t share = std::max<size_t>(1, cpus.size() / nodes_here);
+      for (size_t i = 0; i < nodes_here; ++i) {
+        const size_t lo = std::min(cpus.size(), i * share);
+        const size_t hi =
+            i + 1 == nodes_here ? cpus.size() : std::min(cpus.size(), (i + 1) * share);
+        std::vector<int>& slice = plan.node_cpus[domain_nodes[d][i]];
+        slice.assign(cpus.begin() + static_cast<std::ptrdiff_t>(lo),
+                     cpus.begin() + static_cast<std::ptrdiff_t>(hi));
+        if (slice.empty()) {
+          slice.push_back(cpus.back());  // oversubscribed domain: share a CPU
+        }
+        min_slice = std::min(min_slice, slice.size());
+      }
+    }
+    // slice[0] drives the node's phase; the rest serve its pool. Keeping
+    // workers_per_node uniform preserves identical chunking on every node.
+    plan.workers_per_node = std::min(requested_workers, min_slice - 1);
+    for (size_t n = 1; n < num_nodes; ++n) {
+      plan.driver_cpus.push_back(plan.node_cpus[n][0]);
+    }
+  } else {
+    // Sequential node phases: all nodes share the full CPU set.
+    const std::vector<int> all = [&topo] {
+      std::vector<int> cpus;
+      for (const auto& d : topo.domain_cpus) {
+        cpus.insert(cpus.end(), d.begin(), d.end());
+      }
+      return cpus;
+    }();
+    plan.workers_per_node = std::min(requested_workers, total - 1);
+    for (auto& slice : plan.node_cpus) {
+      slice = all;
+    }
+  }
+  return plan;
+}
+
+}  // namespace knightking
+
+#endif  // SRC_UTIL_NUMA_H_

@@ -427,15 +427,29 @@ TEST(ForceRemoteQueriesTest, SameResultsMoreMessages) {
 
 
 TEST(BatchSortModeTest, PathEntriesIdenticalAcrossSortModesWorkersAndFaults) {
-  // The locality sort is a pure processing-order change: TakePathEntries()
-  // must be byte-identical with sorting forced on vs off, with and without
-  // per-node worker pools, and with the fault injector attached (which also
-  // switches the engine from the index-keyed fast query protocol back to the
-  // content-keyed map protocol).
+  // The locality layer is a pure processing-order change: TakePathEntries()
+  // must be byte-identical across the whole matrix — legacy counting sort vs
+  // hierarchical partitioner, interleave ring on (group > 1) vs off (group
+  // 1), auto vs forced grouping, with and without per-node worker pools, and
+  // with the fault injector attached (which also switches the engine from the
+  // index-keyed fast query protocol back to the content-keyed map protocol).
   auto graph = GenerateTruncatedPowerLaw(500, 2.0, 4, 80, 29);
   Node2VecParams params{.p = 0.5, .q = 2.0, .walk_length = 12};
+  struct LocalityConfig {
+    PartitionMode mode;
+    BatchSortMode sort;
+    size_t group;  // 0 = engine default (kDefaultInterleaveGroup)
+  };
+  const LocalityConfig configs[] = {
+      {PartitionMode::kLegacySort, BatchSortMode::kAlways, 1},
+      {PartitionMode::kLegacySort, BatchSortMode::kAlways, 8},
+      {PartitionMode::kLegacySort, BatchSortMode::kNever, 0},
+      {PartitionMode::kHierarchical, BatchSortMode::kAlways, 1},
+      {PartitionMode::kHierarchical, BatchSortMode::kAlways, 8},
+      {PartitionMode::kHierarchical, BatchSortMode::kAuto, 0},
+  };
   std::vector<PathEntry> reference;
-  for (BatchSortMode sort_mode : {BatchSortMode::kAlways, BatchSortMode::kNever}) {
+  for (const LocalityConfig& config : configs) {
     for (size_t workers : {size_t{0}, size_t{4}}) {
       for (bool faulted : {false, true}) {
         FaultPolicy policy;
@@ -447,7 +461,9 @@ TEST(BatchSortModeTest, PathEntriesIdenticalAcrossSortModesWorkersAndFaults) {
         opts.num_nodes = 4;
         opts.workers_per_node = workers;
         opts.parallel_nodes = workers > 0;
-        opts.sort_batches = sort_mode;
+        opts.partition_mode = config.mode;
+        opts.sort_batches = config.sort;
+        opts.interleave_group_size = config.group;
         opts.collect_paths = true;
         opts.seed = 41;
         if (faulted) {
@@ -461,8 +477,9 @@ TEST(BatchSortModeTest, PathEntriesIdenticalAcrossSortModesWorkersAndFaults) {
           reference = std::move(entries);
         } else {
           EXPECT_EQ(entries, reference)
-              << "sort=" << static_cast<int>(sort_mode) << " workers=" << workers
-              << " faulted=" << faulted;
+              << "partition=" << static_cast<int>(config.mode)
+              << " sort=" << static_cast<int>(config.sort) << " group=" << config.group
+              << " workers=" << workers << " faulted=" << faulted;
         }
       }
     }

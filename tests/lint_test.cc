@@ -138,6 +138,14 @@ TEST(KkLintTest, Kk010RawThreadFixture) {
   EXPECT_EQ(findings.size(), 2u);  // std::thread construction + .detach()
 }
 
+TEST(KkLintTest, Kk011CacheGeometryLiteralFixture) {
+  auto findings = LintFixture("src/engine/kk011_cache_literal.cc");
+  EXPECT_EQ(RuleIds(findings), std::set<std::string>{"KK011"});
+  // Hardcoded bucket count + ring size; the PartitionBucketCount call, the
+  // named-constant default, and the 0/1 neutral values all stay silent.
+  EXPECT_EQ(findings.size(), 2u);
+}
+
 TEST(KkLintTest, WaiversSilenceEveryRule) {
   FileLint lint = LintContentFull("src/engine/waived.cc", ReadFixture("src/engine/waived.cc"));
   EXPECT_TRUE(lint.findings.empty())
@@ -169,6 +177,10 @@ TEST(KkLintTest, ScopingDisablesRulesOutsideTheirDirs) {
   std::string thread_content = ReadFixture("src/engine/kk010_raw_thread.cc");
   EXPECT_TRUE(LintContent("src/util/thread_pool.cc", thread_content).empty());
   EXPECT_TRUE(LintContent("src/testing/kk010_raw_thread.cc", thread_content).empty());
+  // Cache-geometry literals are legal outside src/ and in their home header.
+  std::string cache_content = ReadFixture("src/engine/kk011_cache_literal.cc");
+  EXPECT_TRUE(LintContent("bench/kk011_cache_literal.cc", cache_content).empty());
+  EXPECT_TRUE(LintContent("src/util/cache_geometry.h", cache_content).empty());
 }
 
 // KK001 applies tree-wide but the primitives' home file is exempt.
@@ -224,11 +236,12 @@ TEST(KkLintTest, ParseCompileCommandsExtractsFiles) {
 
 TEST(KkLintTest, RuleCatalogIsCompleteAndStable) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   EXPECT_STREQ(rules[0].id, "KK001");
   EXPECT_STREQ(rules[4].id, "KK005");
   EXPECT_STREQ(rules[5].id, "KK006");
   EXPECT_STREQ(rules[9].id, "KK010");
+  EXPECT_STREQ(rules[10].id, "KK011");
   std::set<std::string> tags;
   for (const auto& r : rules) {
     EXPECT_NE(std::string(r.waiver_tag), "");

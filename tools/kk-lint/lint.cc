@@ -54,6 +54,11 @@ const std::vector<RuleInfo> kRules = {
      "run parallel work on the engine's ThreadPool; raw std::thread (and "
      "detach) escapes the pool's lifecycle, determinism, and shutdown "
      "guarantees"},
+    {"KK011", "cache-geometry-literal", "cache-geometry-ok",
+     "src/ except src/util/cache_geometry.h",
+     "derive bucket counts, interleave groups, prefetch distances, and cache "
+     "sizes from src/util/cache_geometry.h constants or CacheGeometry::Detect; "
+     "hardcoded cache-shaped literals silently mistune on other hardware"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -635,6 +640,38 @@ void CheckRawThread(const std::string& path, const std::vector<std::string>& cod
   }
 }
 
+// ---------------------------------------------------------------------------
+// KK011: hardcoded cache-geometry literals outside the sanctioned header.
+// ---------------------------------------------------------------------------
+void CheckCacheGeometryLiteral(const std::string& path, const std::vector<std::string>& code,
+                               std::vector<Finding>* findings) {
+  // cache_geometry.h is the single home for cache-flavored magic numbers;
+  // everything else under src/ must consume its named constants.
+  if (!StartsWith(path, "src/") || path == "src/util/cache_geometry.h") {
+    return;
+  }
+  // A cache-flavored identifier (bucket / interleave / prefetch-distance /
+  // cache-line / cache-size naming) initialized or assigned from a bare
+  // integer literal. 0 and 1 are neutral ("off" / "single"), anything larger
+  // is a tuning decision that belongs in cache_geometry.h.
+  static const std::regex kCacheLiteral(
+      R"rx(\b(\w*(?:[Bb]ucket|[Ii]nterleave|[Pp]refetch_?[Dd]ist|[Cc]ache_?[Ll]ine|[Cc]ache_?[Ss]ize|[Ll]lc|[Ll]1d?_bytes|[Ll]2_bytes)\w*)\s*(?:=|\{|\()\s*([0-9]+)\b)rx");
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, kCacheLiteral)) {
+      unsigned long long value = std::stoull(m.str(2));
+      if (value <= 1) {
+        continue;
+      }
+      Emit(findings, "KK011", path, i,
+           "cache-geometry literal '" + m.str(1) + " = " + m.str(2) +
+               "'; size it from src/util/cache_geometry.h (named constant or "
+               "CacheGeometry::Detect) so tuning stays in one reviewable place",
+           "cache-geometry-ok");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() { return kRules; }
@@ -660,6 +697,7 @@ FileLint LintContentFull(const std::string& rel_path, const std::string& content
   CheckNondetFpReduction(rel_path, code, &emitted);
   CheckUncheckedWriter(rel_path, code, &emitted);
   CheckRawThread(rel_path, code, &emitted);
+  CheckCacheGeometryLiteral(rel_path, code, &emitted);
 
   // Central waiver pass. A `// kk-lint: <tag>` comment on line w silences
   // findings with that tag on w and w+1, and counts as used exactly when it

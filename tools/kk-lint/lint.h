@@ -17,6 +17,7 @@
 //   KK008 nondet-fp-reduction    waiver: // kk-lint: nondeterministic-reduction-ok
 //   KK009 unchecked-writer       waiver: // kk-lint: unchecked-write-ok
 //   KK010 raw-thread             waiver: // kk-lint: raw-thread-ok
+//   KK011 cache-geometry-literal waiver: // kk-lint: cache-geometry-ok
 //
 // Checks always *emit*; waivers are applied centrally after all checks run.
 // That split is what lets the driver report stale waiver comments

@@ -1,0 +1,27 @@
+// Fixture: KK011 hardcoded cache-geometry literals outside cache_geometry.h.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/cache_geometry.h"
+
+namespace fixture {
+
+struct HotLoopPlan {
+  uint32_t num_buckets = 4096;   // KK011: hardcoded bucket count
+  size_t interleave_group = 16;  // KK011: hardcoded ring size
+};
+
+inline uint32_t GoodBucketCount(uint64_t footprint_bytes) {
+  // OK: sized from the sanctioned geometry header, not a literal.
+  return knightking::PartitionBucketCount(footprint_bytes,
+                                          knightking::CacheGeometry::Detect());
+}
+
+inline size_t GoodGroup(size_t requested) {
+  // OK: named constant from cache_geometry.h covers the default.
+  size_t interleave = requested == 0 ? knightking::kDefaultInterleaveGroup : requested;
+  size_t bucket_floor = 1;  // OK: 0/1 are neutral off/single values
+  return interleave + bucket_floor;
+}
+
+}  // namespace fixture

@@ -77,4 +77,10 @@ void WatchdogThread(int* flag) {
   t.join();
 }
 
+size_t DebugDumpBucketCount() {
+  // Diagnostics-only histogram width; never feeds the partition plan.
+  size_t dump_buckets = 32;  // kk-lint: cache-geometry-ok
+  return dump_buckets;
+}
+
 }  // namespace fixture

@@ -51,6 +51,38 @@ bool RequireBool(const JsonValue& obj, const char* key, CheckResult* r,
   return true;
 }
 
+// Same post-format-shipped contract as OptionalNumber, for string fields.
+bool OptionalString(const JsonValue& obj, const char* key, CheckResult* r,
+                    const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v != nullptr && !v->IsString()) {
+    Fail(r, where + ": field \"" + key + "\" must be a string when present");
+    return false;
+  }
+  return true;
+}
+
+// Optional enum-valued string: absent is fine, present must be one of
+// `allowed`.
+bool OptionalEnum(const JsonValue& obj, const char* key,
+                  const std::vector<std::string>& allowed, CheckResult* r,
+                  const std::string& where) {
+  if (!OptionalString(obj, key, r, where)) {
+    return false;
+  }
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  for (const std::string& a : allowed) {
+    if (v->AsString() == a) {
+      return true;
+    }
+  }
+  Fail(r, where + ": field \"" + key + "\" has unknown value \"" + v->AsString() + "\"");
+  return false;
+}
+
 bool RequireString(const JsonValue& obj, const char* key, CheckResult* r,
                    const std::string& where) {
   const JsonValue* v = obj.Find(key);
@@ -130,7 +162,10 @@ void CheckHotpath(const JsonValue& doc, CheckResult* r) {
       !RequireNumber(*config, "workers_per_node", r, "config") ||
       !RequireNumber(*config, "graph_vertices", r, "config") ||
       !RequireNumber(*config, "graph_edges", r, "config") ||
-      !OptionalNumber(*config, "checkpoint_every", r, "config")) {
+      !OptionalNumber(*config, "checkpoint_every", r, "config") ||
+      !OptionalEnum(*config, "partition_mode", {"hierarchical", "legacy"}, r, "config") ||
+      !OptionalNumber(*config, "interleave_group_size", r, "config") ||
+      !OptionalEnum(*config, "worker_schedule", {"topology", "fixed"}, r, "config")) {
     return;
   }
   const JsonValue* workloads = doc.Find("workloads");
@@ -165,7 +200,10 @@ void CheckHotpath(const JsonValue& doc, CheckResult* r) {
         return;
       }
     }
-    for (const char* key : {"checkpoints", "checkpoint_bytes", "checkpoint_micros"}) {
+    for (const char* key : {"checkpoints", "checkpoint_bytes", "checkpoint_micros",
+                            "partition_buckets", "partition_super_buckets", "interleave_group",
+                            "effective_workers", "partition_batches", "partition_walkers",
+                            "interleave_groups"}) {
       if (!OptionalNumber(w, key, r, where)) {
         return;
       }
