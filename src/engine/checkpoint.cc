@@ -130,6 +130,8 @@ void WriteCheckpointHeader(BinaryFileWriter& w, const CheckpointHeader& h) {
   w.Write(h.pending_bytes);
   w.Write(h.inflight_bytes);
   w.Write(h.pathentry_bytes);
+  w.Write(h.mutation_batches);
+  w.Write(h.mutation_hash);
 }
 
 bool ReadCheckpointHeader(BinaryFileReader& r, CheckpointHeader* h) {
@@ -141,7 +143,8 @@ bool ReadCheckpointHeader(BinaryFileReader& r, CheckpointHeader* h) {
   }
   return r.Read(&h->num_nodes) && r.Read(&h->seed) && r.Read(&h->superstep) &&
          r.Read(&h->num_walkers) && r.Read(&h->walker_bytes) && r.Read(&h->pending_bytes) &&
-         r.Read(&h->inflight_bytes) && r.Read(&h->pathentry_bytes);
+         r.Read(&h->inflight_bytes) && r.Read(&h->pathentry_bytes) &&
+         r.Read(&h->mutation_batches) && r.Read(&h->mutation_hash);
 }
 
 namespace {

@@ -28,7 +28,10 @@ namespace knightking {
 
 // "KKCKPT" — same tagging idiom as kPathsMagic in path_io.cc.
 inline constexpr uint64_t kCheckpointMagic = 0x4b4b434b5054ULL;
-inline constexpr uint32_t kCheckpointVersion = 1;
+// v2 added the mutation-log cursor + prefix hash (streaming graph mutations,
+// docs/DYNAMIC_GRAPHS.md). v1 snapshots predate that contract and are
+// rejected rather than silently restored without their graph state.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 // Fixed-size snapshot prologue. The per-record byte sizes pin the template
 // instantiation that wrote the file: a snapshot taken by an engine with a
@@ -46,6 +49,14 @@ struct CheckpointHeader {
   uint32_t pending_bytes = 0;    // sizeof(PendingTrial)
   uint32_t inflight_bytes = 0;   // sizeof(InFlightMove)
   uint32_t pathentry_bytes = 0;  // sizeof(PathEntry)
+  // Streaming-mutation cut (v2): how many mutation batches the run had
+  // applied at this superstep, and MutationLog::PrefixHash over them.
+  // Recovery replays exactly that prefix from the pristine base CSR and
+  // refuses a snapshot whose hash does not match the attached log — a
+  // restored walk must never resume over a different graph than it left.
+  // Both zero for runs without a mutation log.
+  uint64_t mutation_batches = 0;
+  uint64_t mutation_hash = 0;
 };
 
 // Buffered binary writer that never loses a failed write: every fwrite

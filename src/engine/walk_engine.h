@@ -48,8 +48,10 @@
 #include "src/engine/transition.h"
 #include "src/engine/walker.h"
 #include "src/graph/csr.h"
+#include "src/graph/delta_store.h"
 #include "src/graph/partition.h"
 #include "src/sampling/static_sampler.h"
+#include "src/sampling/weight_class.h"
 #include "src/sampling/stats.h"
 #include "src/util/cache_geometry.h"
 #include "src/util/check.h"
@@ -196,6 +198,19 @@ struct WalkEngineOptions {
   // state is still reset per Run. Off by default: batch callers may change
   // the transition between Runs.
   bool reuse_static_state = false;
+  // Streaming graph mutations (ROADMAP item 2; docs/DYNAMIC_GRAPHS.md).
+  // Non-owning log of epoch-tagged edge insert/delete/reweight batches; the
+  // driver applies every batch whose epoch has been reached at the top of
+  // the superstep loop, before that superstep's checkpoint cut. Null keeps
+  // the graph static (the mutation read path costs one predictable branch).
+  // Mutations are incompatible with second-order transitions (parked trials
+  // hold local edge indices across supersteps, and respond_query reads the
+  // base CSR) and with reuse_static_state — both are KK_CHECKed.
+  const MutationLog* mutation_log = nullptr;
+  // Per-vertex delta budget: once any overlay row has absorbed this many
+  // mutations, the whole overlay is folded back into a fresh CSR at the next
+  // batch boundary and the flat sampler state is rebuilt. 0 never merges.
+  uint32_t merge_threshold = 64;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -229,6 +244,24 @@ struct CheckpointStats {
   uint64_t checkpoint_bytes = 0;  // total bytes across committed snapshots
   uint64_t checkpoint_micros = 0; // wall-clock spent serializing
   uint64_t recoveries = 0;        // crash recoveries performed
+};
+
+// Cumulative streaming-mutation counters (docs/DYNAMIC_GRAPHS.md). They
+// survive overlay merges (folded out before each reset) and are rebuilt by a
+// recovery replay, so they always describe the applied history behind the
+// engine's current graph state. All deterministic for a given configuration.
+struct MutationCounters {
+  uint64_t inserted = 0;
+  uint64_t removed = 0;
+  uint64_t reweighted = 0;
+  uint64_t rejected = 0;             // delete-of-absent / reweight-on-unweighted
+  uint64_t rows_materialized = 0;    // overlay rows created (first touches)
+  uint64_t row_builds = 0;           // O(degree) weight-class row builds
+  uint64_t incremental_updates = 0;  // O(1) single-bucket sampler updates
+  uint64_t merges = 0;               // overlay -> CSR folds
+  uint64_t delta_mutations = 0;      // currently absorbed by the overlay (gauge)
+
+  uint64_t applied() const { return inserted + removed + reweighted; }
 };
 
 template <typename EdgeData, typename WalkerState = EmptyWalkerState,
@@ -312,6 +345,27 @@ class WalkEngine {
     KK_CHECK(!transition.IsSecondOrder() || transition.respond_query);
     second_order_ = transition.IsSecondOrder();
     dynamic_ = transition.IsDynamic();
+    mutating_ = options_.mutation_log != nullptr;
+    weighted_ = transition.static_comp != nullptr || HasWeight<EdgeData>;
+    // Parked second-order trials carry local edge indices across supersteps
+    // and respond_query answers from the base CSR — both would silently go
+    // stale under row edits. Refuse instead of corrupting walks.
+    KK_CHECK_MSG(!(mutating_ && second_order_),
+                 "streaming mutations are not supported with second-order "
+                 "transitions (see docs/DYNAMIC_GRAPHS.md)");
+    KK_CHECK_MSG(!(mutating_ && options_.reuse_static_state),
+                 "streaming mutations rebuild static state on merge; "
+                 "reuse_static_state would serve stale tables");
+    if (mutating_ && !delta_.attached()) {
+      // First mutating Run: snapshot the pristine CSR (the replay origin —
+      // recovery re-derives any merged graph from it) and attach the overlay.
+      pristine_graph_ = graph_;
+      delta_.Reset(&graph_);
+      overlay_.Reset(graph_.num_vertices());
+      mutation_cursor_ = 0;
+      merges_ = 0;
+      folded_ = MutationCounters{};
+    }
     interleave_group_ = options_.interleave_group_size == 0
                             ? kDefaultInterleaveGroup
                             : options_.interleave_group_size;
@@ -323,7 +377,8 @@ class WalkEngine {
     KK_CHECK_MSG(!checkpointing || !options_.checkpoint_path.empty(),
                  "checkpoint_every > 0 requires a checkpoint_path");
     KK_CHECK_MSG(checkpointing || !reliable_ ||
-                     options_.fault_injector->pending_crashes() == 0,
+                     (options_.fault_injector->pending_crashes() == 0 &&
+                      options_.fault_injector->pending_batch_crashes() == 0),
                  "scheduled node crashes require checkpointing "
                  "(set WalkEngineOptions::checkpoint_every)");
     include_local_faults_ =
@@ -402,6 +457,12 @@ class WalkEngine {
         stalled_iterations = 0;
         last_progress_steps = steps_total;
       }
+      // Mutations apply before this superstep's checkpoint cut, so a
+      // snapshot at superstep s always contains every batch with epoch <= s
+      // — the invariant the recovery replay depends on.
+      if (mutating_) {
+        ApplyDueMutations();
+      }
       // Snapshot before probing for crashes: the initial save at superstep 0
       // guarantees every crash finds a checkpoint at or before its epoch.
       // Re-saving after a recovery lands back on a checkpoint boundary just
@@ -461,6 +522,47 @@ class WalkEngine {
   // options.checkpoint_every is 0).
   const CheckpointStats& checkpoint_stats() const { return ckpt_stats_; }
 
+  // Streaming-mutation counters over the engine lifetime (all zero without a
+  // mutation log). Live counters plus everything folded out at merges.
+  MutationCounters mutation_counters() const {
+    MutationCounters c = folded_;
+    const auto& s = delta_.stats();
+    c.inserted += s.inserted;
+    c.removed += s.removed;
+    c.reweighted += s.reweighted;
+    c.rejected += s.rejected;
+    c.rows_materialized += s.rows_materialized;
+    c.row_builds += overlay_.row_builds();
+    c.incremental_updates += overlay_.incremental_updates();
+    c.merges = merges_;
+    c.delta_mutations = delta_.DeltaMutations();
+    return c;
+  }
+
+  // Mutation-log batches applied so far (the checkpoint cursor).
+  size_t mutation_batches_applied() const { return mutation_cursor_; }
+
+  // kAuto locality estimate: bytes a batch of this size will touch — its own
+  // walker state, one static row per distinct landing vertex, and (under
+  // mutation) the overlay adjacency + weight-class rows of whatever dirty
+  // vertices it can hit. ShouldSortBatch compares this against the bucket
+  // cache share; public so tests can pin the estimate's mutation term.
+  uint64_t EstimatedBatchTouchedBytes(size_t batch_size) const {
+    const uint64_t walker_bytes = batch_size * sizeof(WalkerT);
+    const uint64_t rows = std::min<uint64_t>(batch_size, graph_.num_vertices());
+    uint64_t touched = walker_bytes + rows * plan_.bytes_per_vertex;
+    // Delta-overlay rows are hot state the static plan knows nothing about:
+    // without this term the estimate goes stale as mutations accumulate and
+    // kAuto under-sorts exactly when locality matters most.
+    const uint64_t dirty = std::min<uint64_t>(rows, delta_.NumDirtyRows());
+    if (dirty > 0) {
+      const uint64_t sampler_row_bytes =
+          overlay_.NumRows() > 0 ? overlay_.MemoryBytes() / overlay_.NumRows() : 0;
+      touched += dirty * (delta_.BytesPerDirtyRow() + sampler_row_bytes);
+    }
+    return touched;
+  }
+
   // Restores engine state from a snapshot written by SaveCheckpoint. All
   // validation — header fields against this engine's configuration and
   // template instantiation, every declared count against the remaining file
@@ -481,6 +583,20 @@ class WalkEngine {
         h.pending_bytes != sizeof(PendingTrial) ||
         h.inflight_bytes != sizeof(InFlightMove) ||
         h.pathentry_bytes != sizeof(PathEntry)) {
+      return false;
+    }
+    // Mutation cut: the snapshot must replay against exactly the log this
+    // engine is configured with (or none at all). The prefix hash pins the
+    // byte content of every batch the crashed run had applied; restoring a
+    // walk over a different graph history would not be a recovery.
+    if (options_.mutation_log == nullptr) {
+      if (h.mutation_batches != 0 || h.mutation_hash != 0) {
+        return false;
+      }
+    } else if (h.mutation_batches > options_.mutation_log->num_batches() ||
+               h.mutation_hash !=
+                   options_.mutation_log->PrefixHash(
+                       static_cast<size_t>(h.mutation_batches))) {
       return false;
     }
     std::vector<step_t> progress;
@@ -550,6 +666,19 @@ class WalkEngine {
       }
       node.path_log = std::move(ns.path_log);
     }
+    if (options_.mutation_log != nullptr) {
+      if (transition_ != nullptr) {
+        // In-Run restore (crash recovery): re-derive the graph at the cut by
+        // replaying the applied prefix from the pristine CSR — overlay rows,
+        // merge points, and incremental weight totals included, byte for
+        // byte (see docs/DYNAMIC_GRAPHS.md).
+        ReplayMutationPrefix(static_cast<size_t>(h.mutation_batches));
+      } else {
+        // Driver-only restore outside Run: record the cursor; the graph
+        // replay needs the transition's Ps and bounds, so Run performs it.
+        mutation_cursor_ = static_cast<size_t>(h.mutation_batches);
+      }
+    }
     return true;
   }
 
@@ -617,6 +746,16 @@ class WalkEngine {
     out.SetGauge("engine.acceptance_rate", with({}), last_stats_.AcceptanceRate(),
                  /*stable=*/true);
     out.AddCounter("engine.sampler_bytes", with({}), sampler_.MemoryBytes());
+    // Streaming-mutation counters (all zero without a mutation log; see
+    // docs/DYNAMIC_GRAPHS.md). All deterministic for a given configuration.
+    const MutationCounters mc = mutation_counters();
+    out.SetGauge("graph.delta_edges", with({}),
+                 static_cast<double>(mc.delta_mutations), /*stable=*/true);
+    out.AddCounter("graph.merges", with({}), mc.merges);
+    out.AddCounter("graph.mutations_applied", with({}), mc.applied());
+    out.AddCounter("graph.mutations_rejected", with({}), mc.rejected);
+    out.AddCounter("sampler.incremental_updates", with({}), mc.incremental_updates);
+    out.AddCounter("sampler.row_builds", with({}), mc.row_builds);
     out.AddCounter("engine.checkpoints", with({}), ckpt_stats_.checkpoints);
     out.AddCounter("engine.checkpoint_bytes", with({}), ckpt_stats_.checkpoint_bytes);
     // Wall-clock: never part of the deterministic snapshot contract.
@@ -868,6 +1007,186 @@ class WalkEngine {
                                     : StaticWeight(edge.data);
   }
 
+  // ---- Mutation-aware read path -------------------------------------------
+  // Every sampling-path graph access routes through these: a clean vertex
+  // reads the base CSR / flat sampler tables exactly as before, a dirty one
+  // reads its overlay adjacency / weight-class row. Without a mutation log
+  // each helper is the old access plus one predictable branch.
+
+  bool DirtyRow(vertex_id_t v) const { return mutating_ && delta_.IsDirty(v); }
+
+  std::span<const AdjT> NeighborsOf(vertex_id_t v) const {
+    return mutating_ ? delta_.Neighbors(v) : graph_.Neighbors(v);
+  }
+
+  vertex_id_t DegreeOf(vertex_id_t v) const {
+    return mutating_ ? delta_.OutDegree(v) : graph_.OutDegree(v);
+  }
+
+  // Ps-proportional candidate draw at v. Unweighted dirty rows draw uniform
+  // over the live degree (the flat uniform sampler's degree would be stale).
+  vertex_id_t SampleCandidate(vertex_id_t v, Rng& rng) const {
+    if (DirtyRow(v)) {
+      if (weighted_) {
+        return static_cast<vertex_id_t>(overlay_.Sample(v, rng));
+      }
+      return static_cast<vertex_id_t>(rng.NextUInt64(delta_.OutDegree(v)));
+    }
+    return sampler_.Sample(v, rng);
+  }
+
+  // Sum of Ps over v's out-edges (the dartboard width).
+  double CandidateWidth(vertex_id_t v) const {
+    if (DirtyRow(v)) {
+      return weighted_ ? overlay_.TotalWeight(v)
+                       : static_cast<double>(delta_.OutDegree(v));
+    }
+    return sampler_.TotalWeight(v);
+  }
+
+  // Upper bound on any single Ps at v (outlier appendix width). The overlay
+  // bound is monotone over the row's history — an over-estimate costs
+  // appendix efficiency, never correctness.
+  real_t CandidateMaxWeight(vertex_id_t v) const {
+    if (DirtyRow(v)) {
+      return weighted_ ? overlay_.MaxWeight(v) : 1.0f;
+    }
+    return sampler_.MaxWeight(v);
+  }
+
+  // ---- Streaming mutations (driver-only between supersteps) ---------------
+  // See docs/DYNAMIC_GRAPHS.md. All of this runs at the top-of-loop barrier
+  // with no phase in flight, so overlay rows are edited with no concurrent
+  // reader.
+
+  // Applies every not-yet-applied log batch whose epoch has been reached.
+  void ApplyDueMutations() {
+    const MutationLog& log = *options_.mutation_log;
+    while (mutation_cursor_ < log.num_batches() &&
+           log.batch(mutation_cursor_).epoch <= superstep_) {
+      ApplyBatch(log.batch(mutation_cursor_));
+      if (reliable_) {
+        // Live path only (replay never re-arms): lets tests pin a crash to
+        // "right after this batch landed" by content id. The crash fires in
+        // this same superstep's TakeCrash probe, after the checkpoint save.
+        options_.fault_injector->NotifyMutationBatch(log.batch(mutation_cursor_).id,
+                                                     superstep_);
+      }
+      ++mutation_cursor_;
+      // Merges fire only at batch boundaries: a threshold crossed mid-batch
+      // defers to here, so every batch applies against one consistent base.
+      if (delta_.pending_merge()) {
+        MergeOverlay();
+      }
+    }
+  }
+
+  void ApplyBatch(const MutationBatch& batch) {
+    for (const EdgeMutation& m : batch.mutations) {
+      ApplyMutation(m);
+    }
+  }
+
+  // One mutation: materialize on first touch (the only O(degree) step),
+  // mirror the row edit into the weight-class sampler in O(1), refresh the
+  // vertex's Pd envelope.
+  void ApplyMutation(const EdgeMutation& m) {
+    if (!delta_.IsDirty(m.src)) {
+      delta_.Materialize(m.src);
+      if (weighted_) {
+        BuildOverlayRow(m.src);
+      }
+    }
+    const RowEdit edit = delta_.Apply(m, options_.merge_threshold);
+    if (weighted_) {
+      switch (edit.kind) {
+        case RowEdit::Kind::kNone:
+          break;
+        case RowEdit::Kind::kInsert:
+          overlay_.PushBack(m.src,
+                            PsOf(m.src, delta_.Neighbors(m.src)[edit.local_index]));
+          break;
+        case RowEdit::Kind::kRemove:
+          overlay_.SwapRemove(m.src, edit.local_index);
+          break;
+        case RowEdit::Kind::kReweight:
+          overlay_.Reweight(m.src, edit.local_index,
+                            PsOf(m.src, delta_.Neighbors(m.src)[edit.local_index]));
+          break;
+      }
+    }
+    if (dynamic_ && edit.kind != RowEdit::Kind::kNone) {
+      const vertex_id_t deg = delta_.OutDegree(m.src);
+      upper_[m.src] = transition_->dynamic_upper_bound(m.src, deg);
+      if (!lower_.empty()) {
+        lower_[m.src] = transition_->dynamic_lower_bound(m.src, deg);
+      }
+    }
+  }
+
+  // Computes the Ps row for a freshly materialized vertex and builds its
+  // weight-class row.
+  void BuildOverlayRow(vertex_id_t v) {
+    auto nbrs = delta_.Neighbors(v);
+    ps_row_buffer_.resize(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      ps_row_buffer_[i] = PsOf(v, nbrs[i]);
+    }
+    overlay_.BuildRow(v, ps_row_buffer_);
+  }
+
+  // Folds base + overlay into a fresh CSR and rebuilds the flat static state
+  // over it. O(V + E), amortized over merge_threshold mutations per row.
+  void MergeOverlay() {
+    FoldMutationCounters();
+    Csr<EdgeData> merged = delta_.MergedCsr();
+    graph_ = std::move(merged);
+    delta_.Reset(&graph_);
+    overlay_.Reset(graph_.num_vertices());
+    ++merges_;
+    PrepareStatic();  // flat sampler tables, envelope arrays, partition plan
+  }
+
+  // Preserves the live overlay counters across the resets Merge performs.
+  void FoldMutationCounters() {
+    const auto& s = delta_.stats();
+    folded_.inserted += s.inserted;
+    folded_.removed += s.removed;
+    folded_.reweighted += s.reweighted;
+    folded_.rejected += s.rejected;
+    folded_.rows_materialized += s.rows_materialized;
+    folded_.row_builds += overlay_.row_builds();
+    folded_.incremental_updates += overlay_.incremental_updates();
+  }
+
+  // Rebuilds the graph exactly as it stood after `count` applied batches:
+  // pristine CSR, replayed prefix, merges re-executed at the same points —
+  // the same IEEE operation sequence the live run performed, so overlay rows
+  // and incremental weight totals come back byte-identical. Counters reset
+  // and re-accumulate, so post-recovery figures match a run that never
+  // crashed up to the restored cut.
+  void ReplayMutationPrefix(size_t count) {
+    KK_CHECK(mutating_ && transition_ != nullptr);
+    const MutationLog& log = *options_.mutation_log;
+    KK_CHECK_MSG(count <= log.num_batches(),
+                 "checkpoint applied %zu mutation batches but the log has %zu",
+                 count, log.num_batches());
+    graph_ = pristine_graph_;
+    delta_.Reset(&graph_);
+    overlay_.Reset(graph_.num_vertices());
+    merges_ = 0;
+    folded_ = MutationCounters{};
+    PrepareStatic();
+    mutation_cursor_ = 0;
+    while (mutation_cursor_ < count) {
+      ApplyBatch(log.batch(mutation_cursor_));
+      ++mutation_cursor_;
+      if (delta_.pending_merge()) {
+        MergeOverlay();
+      }
+    }
+  }
+
   // The pool Prepare's O(V + E) precomputation runs on: the persistent
   // driver pool when one exists, else the first node's worker pool (all the
   // pools are otherwise idle between Runs), else inline.
@@ -1098,11 +1417,8 @@ class WalkEngine {
     if (batch_size < options_.sort_batches_threshold) {
       return false;
     }
-    const uint64_t walker_bytes = batch_size * sizeof(WalkerT);
-    const uint64_t rows =
-        std::min<uint64_t>(batch_size, graph_.num_vertices());
-    const uint64_t touched = walker_bytes + rows * plan_.bytes_per_vertex;
-    return touched > cache_geo_.l2_bytes / kBucketCacheShareDiv;
+    return EstimatedBatchTouchedBytes(batch_size) >
+           cache_geo_.l2_bytes / kBucketCacheShareDiv;
   }
 
   // Fault-free runs answer every query within its own superstep, so parked
@@ -1208,6 +1524,9 @@ class WalkEngine {
   // current walker computes (batches are cur-sorted, so the hint is almost
   // always useful).
   void PrefetchWalkerRows(vertex_id_t cur) const {
+    if (DirtyRow(cur)) {
+      return;  // overlay rows are small and recently written — already hot
+    }
     graph_.PrefetchNeighbors(cur);
     sampler_.Prefetch(cur);
   }
@@ -1216,22 +1535,22 @@ class WalkEngine {
   // `stats` (chunk-local).
   TrialResult RunTrial(WalkerT& w, SamplingStats& stats) {
     vertex_id_t v = w.cur;
-    vertex_id_t degree = graph_.OutDegree(v);
+    vertex_id_t degree = DegreeOf(v);
     if (degree == 0) {
       return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
     }
     if (!dynamic_) {
       // Static walk: Ps-proportional draw, always accepted.
-      if (sampler_.TotalWeight(v) <= 0.0) {
+      if (CandidateWidth(v) <= 0.0) {
         return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
       }
       stats.trials += 1;
       stats.trial_accepts += 1;
-      return {TrialOutcome::kAccept, sampler_.Sample(v, w.rng), 0.0f, 0};
+      return {TrialOutcome::kAccept, SampleCandidate(v, w.rng), 0.0f, 0};
     }
 
     real_t q = upper_[v];
-    double width = sampler_.TotalWeight(v);
+    double width = CandidateWidth(v);
     if (q <= 0.0f || width <= 0.0) {
       return {TrialOutcome::kNoEdges, 0, 0.0f, 0};
     }
@@ -1245,7 +1564,7 @@ class WalkEngine {
       if (ob.count > 0 && ob.height > q) {
         outlier_count = ob.count;
         appendix_block = static_cast<double>(ob.height - q) *
-                         static_cast<double>(sampler_.MaxWeight(v));
+                         static_cast<double>(CandidateMaxWeight(v));
       }
     }
 
@@ -1261,7 +1580,7 @@ class WalkEngine {
         stats.trial_rejects += 1;
         return {TrialOutcome::kReject, 0, 0.0f, 0};
       }
-      const AdjT& edge = graph_.Neighbors(v)[*idx];
+      const AdjT& edge = NeighborsOf(v)[*idx];
       stats.pd_computations += 1;
       real_t pd = transition_->dynamic_comp(w, v, edge, std::nullopt);
       double chopped =
@@ -1275,14 +1594,14 @@ class WalkEngine {
       return {TrialOutcome::kReject, 0, 0.0f, 0};
     }
 
-    vertex_id_t candidate = sampler_.Sample(v, w.rng);
+    vertex_id_t candidate = SampleCandidate(v, w.rng);
     real_t y = static_cast<real_t>(w.rng.NextDouble(q));
     if (!lower_.empty() && y < lower_[v]) {
       stats.pre_accepts += 1;
       stats.trial_accepts += 1;
       return {TrialOutcome::kAccept, candidate, y, 0};
     }
-    const AdjT& edge = graph_.Neighbors(v)[candidate];
+    const AdjT& edge = NeighborsOf(v)[candidate];
     if (second_order_) {
       std::optional<vertex_id_t> target = transition_->post_query(w, v, edge);
       if (target.has_value()) {
@@ -1303,7 +1622,7 @@ class WalkEngine {
   // draw. Still exact; returns nullopt when no edge is eligible.
   std::optional<vertex_id_t> FallbackScan(WalkerT& w, SamplingStats& stats) {
     vertex_id_t v = w.cur;
-    auto neighbors = graph_.Neighbors(v);
+    auto neighbors = NeighborsOf(v);
     stats.fallback_scans += 1;
     stats.pd_computations += neighbors.size();
     double total = 0.0;
@@ -1333,7 +1652,7 @@ class WalkEngine {
   // Commits a successful trial: advances the walker over edge `candidate`
   // and routes it (or retires it).
   void CommitMove(WalkerT& w, vertex_id_t candidate, node_rank_t src_node, Scratch& scratch) {
-    const AdjT& edge = graph_.Neighbors(w.cur)[candidate];
+    const AdjT& edge = NeighborsOf(w.cur)[candidate];
     vertex_id_t from = w.cur;
     w.prev = w.cur;
     w.cur = edge.neighbor;
@@ -1407,7 +1726,7 @@ class WalkEngine {
       case TrialOutcome::kNeedQuery:
         break;
     }
-    const AdjT& edge = graph_.Neighbors(w.cur)[r.candidate];
+    const AdjT& edge = NeighborsOf(w.cur)[r.candidate];
     vertex_id_t subject = edge.neighbor;
     if (!options_.force_remote_queries && partition_.OwnerOf(r.query_target) == node_rank) {
       // Local-answer fast path: the queried vertex lives here.
@@ -1553,6 +1872,10 @@ class WalkEngine {
     h.pending_bytes = sizeof(PendingTrial);
     h.inflight_bytes = sizeof(InFlightMove);
     h.pathentry_bytes = sizeof(PathEntry);
+    if (mutating_) {
+      h.mutation_batches = mutation_cursor_;
+      h.mutation_hash = options_.mutation_log->PrefixHash(mutation_cursor_);
+    }
     WriteCheckpointHeader(w, h);
     w.WriteVec(walker_progress_);
     w.WriteVec(active_history_);
@@ -1864,7 +2187,7 @@ class WalkEngine {
                   trial.age = 0;
                   resolve_delta.query_retries += 1;
                   const WalkerT& w = trial.walker;
-                  vertex_id_t subject = graph_.Neighbors(w.cur)[trial.candidate].neighbor;
+                  vertex_id_t subject = NeighborsOf(w.cur)[trial.candidate].neighbor;
                   node.requery_out[partition_.OwnerOf(trial.query_target)].push_back(
                       QueryMsg{w.id, trial.query_target, subject, n, trial.epoch});
                 }
@@ -1895,7 +2218,7 @@ class WalkEngine {
               [&](size_t i) {
                 PendingTrial& trial = resolved[i];
                 WalkerT& w = trial.walker;
-                const AdjT& edge = graph_.Neighbors(w.cur)[trial.candidate];
+                const AdjT& edge = NeighborsOf(w.cur)[trial.candidate];
                 scratch->stats.pd_computations += 1;
                 real_t pd = transition_->dynamic_comp(w, w.cur, edge, trial.response);
                 if (trial.y < pd) {
@@ -2065,6 +2388,18 @@ class WalkEngine {
   bool static_prepared_ = false;
   std::vector<real_t> upper_;
   std::vector<real_t> lower_;
+  // ---- Streaming mutations (docs/DYNAMIC_GRAPHS.md) ----
+  // Pristine base CSR captured when the mutation log attaches: the replay
+  // origin recovery re-derives any merged graph from.
+  Csr<EdgeData> pristine_graph_;
+  DeltaStore<EdgeData> delta_;
+  DynamicSamplerOverlay overlay_;
+  std::vector<real_t> ps_row_buffer_;  // driver-only scratch for row builds
+  size_t mutation_cursor_ = 0;         // log batches applied (checkpoint cut)
+  uint64_t merges_ = 0;
+  MutationCounters folded_;  // counters folded out of overlay resets at merge
+  bool mutating_ = false;
+  bool weighted_ = false;
   std::vector<uint64_t> active_history_;
   EnginePhaseTimes phase_times_;
   CheckpointStats ckpt_stats_;

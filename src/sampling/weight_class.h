@@ -1,0 +1,323 @@
+// Bingo-style power-of-two weight-class sampling for mutable rows
+// (ROADMAP item 2; see docs/DYNAMIC_GRAPHS.md).
+//
+// A WeightClassRow buckets a row's edges by floor(log2(weight)): bucket c
+// holds weights in [2^(e_c), 2^(e_c+1)), so within a bucket the maximum /
+// minimum weight ratio is < 2 and uniform-draw-then-reject sampling accepts
+// with probability > 1/2 — O(1) expected. Sampling first picks a bucket by a
+// CDF walk over at most kNumClasses running totals, then rejects inside it.
+//
+// The point of the structure is the update cost: insert appends to one
+// bucket, delete swap-removes from one bucket, reweight moves one entry
+// between two buckets — all O(1), no row rebuild (the alias table would cost
+// O(degree) per update). Every entry carries its (class, position) so the
+// engine's swap-with-last row edits mirror here in O(1) too.
+//
+// Determinism: bucket totals are maintained incrementally in double. They
+// drift from the exact sum as IEEE arithmetic does, but identically for any
+// replay of the same mutation sequence — which is all the engine's
+// byte-identical-recovery contract needs.
+#ifndef SRC_SAMPLING_WEIGHT_CLASS_H_
+#define SRC_SAMPLING_WEIGHT_CLASS_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace knightking {
+
+class WeightClassRow {
+ public:
+  // 64 classes covering weights in [2^-32, 2^32). Out-of-range weights clamp
+  // to the edge classes; per-bucket `bound` tracks the true maximum so
+  // rejection stays correct (just less efficient) for clamped entries.
+  static constexpr int kMinExp = -32;
+  static constexpr int kNumClasses = 64;
+  // Rejection attempts before falling back to an exact in-bucket CDF scan.
+  // With in-range weights acceptance is > 1/2, so 32 straight rejections is
+  // a ~2^-32 event; the fallback bounds the tail for clamped tiny weights.
+  static constexpr int kMaxRejects = 32;
+
+  // (Re)builds from a full weight vector — the first-touch path when a clean
+  // row gets its first mutation. O(degree), counted by the overlay as a row
+  // build, never triggered by subsequent updates.
+  void Build(std::span<const real_t> weights) {
+    for (Bucket& b : buckets_) {
+      b.items.clear();
+      b.total = 0.0;
+      b.bound = 0.0f;
+    }
+    class_of_.clear();
+    pos_of_.clear();
+    weight_of_.clear();
+    total_ = 0.0;
+    max_bound_ = 0.0f;
+    class_of_.reserve(weights.size());
+    pos_of_.reserve(weights.size());
+    weight_of_.reserve(weights.size());
+    for (real_t w : weights) {
+      PushBack(w);
+    }
+  }
+
+  // Appends the edge at local index size() with weight w. O(1).
+  void PushBack(real_t w) {
+    KK_CHECK_MSG(std::isfinite(w) && w >= 0.0f, "weight-class row rejects weight %f",
+                 static_cast<double>(w));
+    const uint32_t idx = static_cast<uint32_t>(weight_of_.size());
+    weight_of_.push_back(w);
+    class_of_.push_back(0);
+    pos_of_.push_back(0);
+    Attach(idx, w);
+  }
+
+  // Mirrors the overlay row's swap-with-last delete of local index i: the
+  // last edge takes index i. O(1).
+  void SwapRemove(uint32_t i) {
+    const uint32_t last = static_cast<uint32_t>(weight_of_.size() - 1);
+    KK_DCHECK(i <= last);
+    Detach(i);
+    if (i != last) {
+      // Re-point the last edge's bucket entry at its new index.
+      const int8_t c = class_of_[last];
+      const uint32_t pos = pos_of_[last];
+      ItemsOf(c)[pos] = i;
+      class_of_[i] = c;
+      pos_of_[i] = pos;
+      weight_of_[i] = weight_of_[last];
+    }
+    class_of_.pop_back();
+    pos_of_.pop_back();
+    weight_of_.pop_back();
+  }
+
+  // Changes the weight of local index i: detaches from its current bucket,
+  // reattaches in the (possibly different) class of w. O(1).
+  void Reweight(uint32_t i, real_t w) {
+    KK_CHECK_MSG(std::isfinite(w) && w >= 0.0f, "weight-class row rejects weight %f",
+                 static_cast<double>(w));
+    KK_DCHECK(i < weight_of_.size());
+    Detach(i);
+    weight_of_[i] = w;
+    Attach(i, w);
+  }
+
+  // Samples a local edge index proportional to weight. Consumes a variable
+  // number of draws from `rng` (walker-local, so placement-independent).
+  uint32_t Sample(Rng& rng) const {
+    KK_DCHECK(total_ > 0.0);
+    const double r = rng.NextDouble(total_);
+    const Bucket* chosen = nullptr;
+    double cum = 0.0;
+    for (const Bucket& b : buckets_) {
+      if (b.items.empty() || b.total <= 0.0) continue;
+      chosen = &b;
+      cum += b.total;
+      if (r < cum) break;
+    }
+    // FP drift in the running totals can leave r >= cum; the scan then lands
+    // on the last non-empty bucket, which is the correct clamp.
+    KK_CHECK(chosen != nullptr);
+    for (int attempt = 0; attempt < kMaxRejects; ++attempt) {
+      const uint32_t k = static_cast<uint32_t>(rng.NextUInt64(chosen->items.size()));
+      const uint32_t idx = chosen->items[k];
+      if (rng.NextFloat() * chosen->bound < weight_of_[idx]) {
+        return idx;
+      }
+    }
+    return ExactScan(*chosen, rng);
+  }
+
+  double total_weight() const { return total_; }
+
+  // Monotone upper bound on every weight the row has ever held (removals do
+  // not lower it). Callers use it as a width bound, so an over-estimate costs
+  // efficiency, never correctness.
+  real_t max_weight() const { return max_bound_; }
+
+  uint32_t size() const { return static_cast<uint32_t>(weight_of_.size()); }
+
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = sizeof(*this);
+    for (const Bucket& b : buckets_) {
+      bytes += b.items.capacity() * sizeof(uint32_t);
+    }
+    bytes += zero_items_.capacity() * sizeof(uint32_t);
+    bytes += class_of_.capacity() * sizeof(int8_t);
+    bytes += pos_of_.capacity() * sizeof(uint32_t);
+    bytes += weight_of_.capacity() * sizeof(real_t);
+    return bytes;
+  }
+
+ private:
+  struct Bucket {
+    std::vector<uint32_t> items;  // local edge indices in this weight class
+    double total = 0.0;           // running sum of member weights
+    real_t bound = 0.0f;          // >= every member weight (rejection ceiling)
+  };
+
+  // Class of a positive weight; -1 is the zero class (edges that exist but
+  // are never sampled — reweight-to-zero parks them there).
+  static int8_t ClassOf(real_t w) {
+    if (w <= 0.0f) return -1;
+    int e = std::ilogb(w) - kMinExp;
+    if (e < 0) e = 0;
+    if (e >= kNumClasses) e = kNumClasses - 1;
+    return static_cast<int8_t>(e);
+  }
+
+  std::vector<uint32_t>& ItemsOf(int8_t c) {
+    return c < 0 ? zero_items_ : buckets_[static_cast<size_t>(c)].items;
+  }
+
+  void Attach(uint32_t idx, real_t w) {
+    const int8_t c = ClassOf(w);
+    class_of_[idx] = c;
+    if (c < 0) {
+      pos_of_[idx] = static_cast<uint32_t>(zero_items_.size());
+      zero_items_.push_back(idx);
+      return;
+    }
+    Bucket& b = buckets_[static_cast<size_t>(c)];
+    pos_of_[idx] = static_cast<uint32_t>(b.items.size());
+    b.items.push_back(idx);
+    b.total += static_cast<double>(w);
+    total_ += static_cast<double>(w);
+    const real_t class_ceiling = std::ldexp(1.0f, kMinExp + c + 1);
+    if (b.bound < class_ceiling) b.bound = class_ceiling;
+    if (b.bound < w) b.bound = w;
+    if (max_bound_ < w) max_bound_ = w;
+  }
+
+  void Detach(uint32_t idx) {
+    const int8_t c = class_of_[idx];
+    const uint32_t pos = pos_of_[idx];
+    std::vector<uint32_t>& items = ItemsOf(c);
+    KK_DCHECK(pos < items.size() && items[pos] == idx);
+    const uint32_t moved = items.back();
+    items[pos] = moved;
+    pos_of_[moved] = pos;
+    items.pop_back();
+    if (c >= 0) {
+      Bucket& b = buckets_[static_cast<size_t>(c)];
+      const double w = static_cast<double>(weight_of_[idx]);
+      b.total -= w;
+      total_ -= w;
+      if (b.items.empty()) {
+        // Zero the drift so an emptied class contributes exactly nothing.
+        total_ -= b.total;
+        b.total = 0.0;
+        b.bound = 0.0f;
+      }
+      if (total_ < 0.0) total_ = 0.0;
+    }
+  }
+
+  // Exact in-bucket CDF scan, reached only after kMaxRejects straight
+  // rejections (clamped-weight pathology). O(bucket size), still correct and
+  // deterministic.
+  uint32_t ExactScan(const Bucket& b, Rng& rng) const {
+    const double r = rng.NextDouble(b.total);
+    double cum = 0.0;
+    for (uint32_t idx : b.items) {
+      cum += static_cast<double>(weight_of_[idx]);
+      if (r < cum) return idx;
+    }
+    for (size_t k = b.items.size(); k-- > 0;) {
+      if (weight_of_[b.items[k]] > 0.0f) return b.items[k];
+    }
+    return b.items.back();
+  }
+
+  std::array<Bucket, kNumClasses> buckets_;
+  std::vector<uint32_t> zero_items_;
+  std::vector<int8_t> class_of_;   // per local index; -1 = zero class
+  std::vector<uint32_t> pos_of_;   // per local index: position within its bucket
+  std::vector<real_t> weight_of_;  // per local index
+  double total_ = 0.0;
+  real_t max_bound_ = 0.0f;
+};
+
+// Per-dirty-vertex weight-class rows, riding alongside the flat alias/ITS
+// tables: the engine samples a clean vertex from the static tables and a
+// dirty vertex from its overlay row. Counts row builds (first touch,
+// O(degree)) separately from incremental updates (O(1)) — the tests pin
+// "no rebuild per update" on exactly these counters.
+class DynamicSamplerOverlay {
+ public:
+  void Reset(vertex_id_t num_vertices) {
+    slot_.assign(num_vertices, kInvalidSlot);
+    rows_.clear();
+    row_builds_ = 0;
+    incremental_updates_ = 0;
+  }
+
+  bool HasRow(vertex_id_t v) const { return slot_[v] != kInvalidSlot; }
+
+  void BuildRow(vertex_id_t v, std::span<const real_t> weights) {
+    if (slot_[v] == kInvalidSlot) {
+      slot_[v] = static_cast<uint32_t>(rows_.size());
+      rows_.emplace_back();
+    }
+    rows_[slot_[v]].Build(weights);
+    ++row_builds_;
+  }
+
+  void PushBack(vertex_id_t v, real_t w) {
+    Row(v).PushBack(w);
+    ++incremental_updates_;
+  }
+
+  void SwapRemove(vertex_id_t v, uint32_t local_index) {
+    Row(v).SwapRemove(local_index);
+    ++incremental_updates_;
+  }
+
+  void Reweight(vertex_id_t v, uint32_t local_index, real_t w) {
+    Row(v).Reweight(local_index, w);
+    ++incremental_updates_;
+  }
+
+  uint32_t Sample(vertex_id_t v, Rng& rng) const { return Row(v).Sample(rng); }
+  double TotalWeight(vertex_id_t v) const { return Row(v).total_weight(); }
+  real_t MaxWeight(vertex_id_t v) const { return Row(v).max_weight(); }
+
+  size_t NumRows() const { return rows_.size(); }
+  uint64_t row_builds() const { return row_builds_; }
+  uint64_t incremental_updates() const { return incremental_updates_; }
+
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = slot_.capacity() * sizeof(uint32_t);
+    for (const WeightClassRow& r : rows_) {
+      bytes += r.MemoryBytes();
+    }
+    return bytes;
+  }
+
+ private:
+  static constexpr uint32_t kInvalidSlot = 0xffffffffu;
+
+  WeightClassRow& Row(vertex_id_t v) {
+    KK_DCHECK(slot_[v] != kInvalidSlot);
+    return rows_[slot_[v]];
+  }
+  const WeightClassRow& Row(vertex_id_t v) const {
+    KK_DCHECK(slot_[v] != kInvalidSlot);
+    return rows_[slot_[v]];
+  }
+
+  std::vector<uint32_t> slot_;
+  std::vector<WeightClassRow> rows_;
+  uint64_t row_builds_ = 0;
+  uint64_t incremental_updates_ = 0;
+};
+
+}  // namespace knightking
+
+#endif  // SRC_SAMPLING_WEIGHT_CLASS_H_

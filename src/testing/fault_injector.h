@@ -85,6 +85,35 @@ class FaultInjector {
     scheduled_crashes_.push_back(CrashEvent{rank, epoch});
   }
 
+  // Schedules a one-shot crash of `rank` at whatever superstep the mutation
+  // batch with content id `batch_id` is applied (MutationLog batch ids are
+  // content hashes, so a test can pin "crash right after this update lands"
+  // without computing the epoch schedule itself). The engine converts the
+  // request into an ordinary CrashEvent via NotifyMutationBatch the moment
+  // the batch applies on the live path; checkpoint-recovery replay does not
+  // re-arm it. Driver-only, like CrashNode.
+  void CrashOnMutationBatch(node_rank_t rank, uint64_t batch_id) {
+    batch_crashes_.push_back(BatchCrash{rank, batch_id});
+  }
+
+  // Engine hook (driver thread): a mutation batch with id `batch_id` was
+  // just applied live at superstep `epoch`. Converts every matching
+  // CrashOnMutationBatch request into a scheduled crash at that epoch;
+  // consume-once, so the re-application of the same batch after recovery
+  // cannot wedge the run in a crash loop.
+  void NotifyMutationBatch(uint64_t batch_id, uint64_t epoch) {
+    for (size_t i = 0; i < batch_crashes_.size();) {
+      if (batch_crashes_[i].batch_id == batch_id) {
+        scheduled_crashes_.push_back(CrashEvent{batch_crashes_[i].rank, epoch});
+        batch_crashes_.erase(batch_crashes_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  size_t pending_batch_crashes() const { return batch_crashes_.size(); }
+
   // Consumes the earliest scheduled crash due at or before `epoch` and
   // returns its rank, or nullopt. Consume-once semantics matter: after
   // recovery the engine replays supersteps it already executed, and a crash
@@ -113,10 +142,16 @@ class FaultInjector {
   void ResetCounters();
 
  private:
+  struct BatchCrash {
+    node_rank_t rank = 0;
+    uint64_t batch_id = 0;
+  };
+
   FaultPolicy policy_;
   // Crash scheduling is driver-only (unlike Decide, which worker threads hit
   // through the mailboxes), so plain members suffice.
   std::vector<CrashEvent> scheduled_crashes_;
+  std::vector<BatchCrash> batch_crashes_;
   uint64_t crashes_fired_ = 0;
   std::atomic<uint64_t> delivered_{0};
   std::atomic<uint64_t> dropped_{0};

@@ -228,6 +228,84 @@ TEST(MetricsCheckerTest, ValidatesHotpathLocalityFields) {
   EXPECT_FALSE(metrics::CheckJsonText(bad_counter).ok);
 }
 
+// Minimal valid bench_mutation report shared by the checker and diff tests.
+std::string MutationReport(double churn_walks_per_sec, double recoveries) {
+  std::string out = R"({
+    "schema_version": 1,
+    "bench": "mutation",
+    "config": {"small": true, "faults": true, "num_nodes": 4,
+               "workers_per_node": 0, "merge_threshold": 64,
+               "graph_vertices": 100, "graph_edges": 400},
+    "update_cost": [{
+      "degree": 256, "updates": 1000, "incremental_ns_per_update": 15.0,
+      "rebuild_ns_per_update": 6000.0, "speedup": 400.0
+    }],
+    "workloads": [{
+      "name": "deepwalk_churn", "walkers": 100, "seconds": 0.5,
+      "walks_per_sec": @WPS@, "steps_per_sec": 1000.0, "steps": 500,
+      "mutation_batches": 10, "mutations_applied": 40, "mutations_rejected": 1,
+      "rows_materialized": 4, "sampler_row_builds": 4,
+      "sampler_incremental_updates": 36, "merges": 2, "recoveries": @REC@
+    }]
+  })";
+  auto sub = [&out](const std::string& tag, double value) {
+    size_t pos = out.find(tag);
+    ASSERT_NE(pos, std::string::npos);
+    out.replace(pos, tag.size(), std::to_string(value));
+  };
+  sub("@WPS@", churn_walks_per_sec);
+  sub("@REC@", recoveries);
+  return out;
+}
+
+TEST(MetricsCheckerTest, ValidatesMutationBenchReports) {
+  const std::string valid = MutationReport(200.0, 2.0);
+  metrics::CheckResult r = metrics::CheckJsonText(valid);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kind, "mutation");
+
+  // Every mutation counter is required — a report that forgets one (schema
+  // drift in bench_mutation.cc) must fail loudly in CI.
+  std::string broken = valid;
+  size_t pos = broken.find("\"merges\": 2,");
+  ASSERT_NE(pos, std::string::npos);
+  broken.erase(pos, std::string("\"merges\": 2,").size());
+  metrics::CheckResult r_broken = metrics::CheckJsonText(broken);
+  EXPECT_FALSE(r_broken.ok);
+  EXPECT_NE(r_broken.error.find("merges"), std::string::npos) << r_broken.error;
+
+  // The update-cost microbenchmark table is part of the contract too.
+  std::string no_updates = valid;
+  pos = no_updates.find("\"update_cost\"");
+  ASSERT_NE(pos, std::string::npos);
+  size_t end = no_updates.find("],", pos);
+  ASSERT_NE(end, std::string::npos);
+  no_updates.replace(pos, end + 2 - pos, "\"update_cost\": [],");
+  EXPECT_FALSE(metrics::CheckJsonText(no_updates).ok);
+}
+
+TEST(MetricsCheckerTest, DiffRendersPerMetricDeltas) {
+  obs::JsonValue old_doc;
+  obs::JsonValue new_doc;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(200.0, 2.0), &old_doc, &error)) << error;
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(250.0, 2.0), &new_doc, &error)) << error;
+
+  std::string diff = metrics::DiffDocuments(old_doc, new_doc);
+  // Rows are keyed by workload name, changed metrics carry the delta and
+  // percentage, unchanged metrics are dashed out.
+  EXPECT_NE(diff.find("| workloads.deepwalk_churn.walks_per_sec | 200 | 250 | +50 (+25.0%) |"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("| workloads.deepwalk_churn.merges | 2 | 2 | — |"), std::string::npos)
+      << diff;
+
+  // Invalid input and cross-kind comparisons are refused.
+  obs::JsonValue junk;
+  ASSERT_TRUE(obs::JsonValue::Parse("{\"schema_version\": 1}", &junk, &error)) << error;
+  EXPECT_EQ(metrics::DiffDocuments(junk, new_doc).rfind("error:", 0), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // TraceRecorder
 

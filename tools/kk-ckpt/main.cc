@@ -36,6 +36,9 @@ void PrintSummary(const std::string& path, const knightking::CheckpointInfo& inf
               static_cast<unsigned long long>(info.active_walkers),
               static_cast<unsigned long long>(info.pending_trials),
               static_cast<unsigned long long>(info.in_flight_moves));
+  std::printf("  mutations: %llu batch(es) applied, log prefix hash %016llx\n",
+              static_cast<unsigned long long>(h.mutation_batches),
+              static_cast<unsigned long long>(h.mutation_hash));
   std::printf("  %llu path entr(ies), %llu progress record(s), "
               "%llu history entr(ies), %llu bytes total\n",
               static_cast<unsigned long long>(info.path_entries),

@@ -267,6 +267,84 @@ void CheckService(const JsonValue& doc, CheckResult* r) {
   }
 }
 
+void CheckMutation(const JsonValue& doc, CheckResult* r) {
+  r->kind = "mutation";
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->IsObject()) {
+    Fail(r, "mutation: missing \"config\" object");
+    return;
+  }
+  if (!RequireBool(*config, "small", r, "config") ||
+      !RequireBool(*config, "faults", r, "config") ||
+      !RequireNumber(*config, "num_nodes", r, "config") ||
+      !RequireNumber(*config, "workers_per_node", r, "config") ||
+      !RequireNumber(*config, "merge_threshold", r, "config") ||
+      !RequireNumber(*config, "graph_vertices", r, "config") ||
+      !RequireNumber(*config, "graph_edges", r, "config")) {
+    return;
+  }
+  // Part 1: incremental-vs-rebuild update microbenchmark, one row per degree.
+  const JsonValue* updates = doc.Find("update_cost");
+  if (updates == nullptr || !updates->IsArray() || updates->AsArray().empty()) {
+    Fail(r, "mutation: missing non-empty \"update_cost\" array");
+    return;
+  }
+  for (size_t i = 0; i < updates->AsArray().size(); ++i) {
+    const JsonValue& u = updates->AsArray()[i];
+    std::string where = "update_cost[" + std::to_string(i) + "]";
+    if (!u.IsObject()) {
+      Fail(r, where + ": not an object");
+      return;
+    }
+    for (const char* key : {"degree", "updates", "incremental_ns_per_update",
+                            "rebuild_ns_per_update", "speedup"}) {
+      if (!RequireNumber(u, key, r, where)) {
+        return;
+      }
+    }
+    if (u.Find("incremental_ns_per_update")->AsNumber() < 0 ||
+        u.Find("rebuild_ns_per_update")->AsNumber() < 0) {
+      Fail(r, where + ": negative timing");
+      return;
+    }
+  }
+  // Part 2: end-to-end walk workloads under churn (static baseline, churn,
+  // and optionally churn + injected faults).
+  const JsonValue* workloads = doc.Find("workloads");
+  if (workloads == nullptr || !workloads->IsArray() || workloads->AsArray().empty()) {
+    Fail(r, "mutation: missing non-empty \"workloads\" array");
+    return;
+  }
+  for (size_t i = 0; i < workloads->AsArray().size(); ++i) {
+    const JsonValue& w = workloads->AsArray()[i];
+    std::string where = "workloads[" + std::to_string(i) + "]";
+    if (!w.IsObject()) {
+      Fail(r, where + ": not an object");
+      return;
+    }
+    if (!RequireString(w, "name", r, where)) {
+      return;
+    }
+    for (const char* key :
+         {"walkers", "seconds", "walks_per_sec", "steps_per_sec", "steps", "mutation_batches",
+          "mutations_applied", "mutations_rejected", "rows_materialized", "sampler_row_builds",
+          "sampler_incremental_updates", "merges", "recoveries"}) {
+      if (!RequireNumber(w, key, r, where)) {
+        return;
+      }
+    }
+    if (w.Find("seconds")->AsNumber() < 0 || w.Find("walks_per_sec")->AsNumber() < 0) {
+      Fail(r, where + ": negative timing");
+      return;
+    }
+    if (w.Find("mutations_applied")->AsNumber() < 0 ||
+        w.Find("mutations_rejected")->AsNumber() < 0) {
+      Fail(r, where + ": negative mutation counters");
+      return;
+    }
+  }
+}
+
 std::string FormatNumber(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<int64_t>(v))) {
@@ -299,9 +377,11 @@ CheckResult CheckDocument(const JsonValue& doc) {
     CheckHotpath(doc, &r);
   } else if (bench != nullptr && bench->IsString() && bench->AsString() == "service") {
     CheckService(doc, &r);
+  } else if (bench != nullptr && bench->IsString() && bench->AsString() == "mutation") {
+    CheckMutation(doc, &r);
   } else {
     Fail(&r, "unrecognized document: expected kind \"kk-metrics-snapshot\" or bench "
-             "\"hotpath\" / \"service\"");
+             "\"hotpath\" / \"service\" / \"mutation\"");
   }
   return r;
 }
@@ -360,6 +440,25 @@ std::string Summarize(const JsonValue& doc) {
            ", stitched " + FormatNumber(results->Find("segments_stitched")->AsNumber()) +
            ", live walks " + FormatNumber(results->Find("live_walks")->AsNumber()) +
            ", rejected " + FormatNumber(results->Find("rejected")->AsNumber()) + "\n";
+  } else if (r.kind == "mutation") {
+    const auto& updates = doc.Find("update_cost")->AsArray();
+    const auto& workloads = doc.Find("workloads")->AsArray();
+    out += "mutation bench: " + std::to_string(updates.size()) + " update-cost rows, " +
+           std::to_string(workloads.size()) + " workloads\n";
+    for (const JsonValue& u : updates) {
+      out += "  degree " + FormatNumber(u.Find("degree")->AsNumber()) + ": " +
+             FormatNumber(u.Find("incremental_ns_per_update")->AsNumber()) +
+             " ns/update incremental vs " +
+             FormatNumber(u.Find("rebuild_ns_per_update")->AsNumber()) + " ns rebuild (" +
+             FormatNumber(u.Find("speedup")->AsNumber()) + "x)\n";
+    }
+    for (const JsonValue& w : workloads) {
+      out += "  " + w.Find("name")->AsString() + ": " +
+             FormatNumber(w.Find("walks_per_sec")->AsNumber()) + " walks/s, " +
+             FormatNumber(w.Find("mutations_applied")->AsNumber()) + " mutations applied, " +
+             FormatNumber(w.Find("merges")->AsNumber()) + " merges, " +
+             FormatNumber(w.Find("recoveries")->AsNumber()) + " recoveries\n";
+    }
   } else {
     const auto& workloads = doc.Find("workloads")->AsArray();
     out += "hotpath bench: " + std::to_string(workloads.size()) + " workloads\n";
@@ -369,6 +468,128 @@ std::string Summarize(const JsonValue& doc) {
              FormatNumber(w.Find("walks_per_sec")->AsNumber()) + " walks/s over " +
              FormatNumber(w.Find("seconds")->AsNumber()) + "s (" +
              FormatNumber(w.Find("iterations")->AsNumber()) + " iterations)\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Flattens every numeric leaf of a document into "path -> value". Array
+// elements are keyed by their "name" (workloads) or "degree" (update_cost
+// rows) so rows pair up across documents even if ordering changes; metrics
+// snapshot entries additionally fold their labels into the path.
+void FlattenNumericLeaves(const JsonValue& v, const std::string& prefix,
+                          std::vector<std::pair<std::string, double>>* out) {
+  if (v.IsNumber()) {
+    out->emplace_back(prefix, v.AsNumber());
+    return;
+  }
+  if (v.IsObject()) {
+    for (const auto& [key, child] : v.AsObject()) {
+      FlattenNumericLeaves(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+    return;
+  }
+  if (v.IsArray()) {
+    const auto& arr = v.AsArray();
+    for (size_t i = 0; i < arr.size(); ++i) {
+      std::string seg;
+      if (arr[i].IsObject()) {
+        const JsonValue* name = arr[i].Find("name");
+        if (name != nullptr && name->IsString()) {
+          seg = name->AsString();
+          const JsonValue* labels = arr[i].Find("labels");
+          if (labels != nullptr && labels->IsObject() && !labels->AsObject().empty()) {
+            seg += "{";
+            const auto& obj = labels->AsObject();
+            for (size_t j = 0; j < obj.size(); ++j) {
+              seg += (j == 0 ? "" : ",") + obj[j].first + "=" + obj[j].second.AsString();
+            }
+            seg += "}";
+          }
+        } else {
+          const JsonValue* degree = arr[i].Find("degree");
+          if (degree != nullptr && degree->IsNumber()) {
+            seg = "degree_" + FormatNumber(degree->AsNumber());
+          }
+        }
+      }
+      if (seg.empty()) {
+        seg = std::to_string(i);
+      }
+      FlattenNumericLeaves(arr[i], prefix.empty() ? seg : prefix + "." + seg, out);
+    }
+  }
+}
+
+std::string FormatDelta(double old_v, double new_v) {
+  double delta = new_v - old_v;
+  std::string out = (delta >= 0 ? "+" : "") + FormatNumber(delta);
+  if (old_v != 0) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.1f%%", 100.0 * delta / old_v);
+    out += " (";
+    out += pct;
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiffDocuments(const JsonValue& old_doc, const JsonValue& new_doc) {
+  CheckResult old_r = CheckDocument(old_doc);
+  if (!old_r.ok) {
+    return "error: baseline document invalid: " + old_r.error + "\n";
+  }
+  CheckResult new_r = CheckDocument(new_doc);
+  if (!new_r.ok) {
+    return "error: new document invalid: " + new_r.error + "\n";
+  }
+  if (old_r.kind != new_r.kind) {
+    return "error: kind mismatch: baseline is \"" + old_r.kind + "\", new is \"" + new_r.kind +
+           "\"\n";
+  }
+  std::vector<std::pair<std::string, double>> old_flat;
+  std::vector<std::pair<std::string, double>> new_flat;
+  FlattenNumericLeaves(old_doc, "", &old_flat);
+  FlattenNumericLeaves(new_doc, "", &new_flat);
+
+  std::string out;
+  out += "### " + new_r.kind + " diff\n\n";
+  out += "| metric | baseline | new | delta |\n";
+  out += "| --- | ---: | ---: | ---: |\n";
+  // Iterate in new-document order so the table reads like the fresh report;
+  // baseline-only metrics trail at the end as removals.
+  for (const auto& [path, new_v] : new_flat) {
+    const double* old_v = nullptr;
+    for (const auto& [old_path, v] : old_flat) {
+      if (old_path == path) {
+        old_v = &v;
+        break;
+      }
+    }
+    if (old_v == nullptr) {
+      out += "| " + path + " | — | " + FormatNumber(new_v) + " | added |\n";
+    } else if (*old_v == new_v) {
+      out += "| " + path + " | " + FormatNumber(*old_v) + " | " + FormatNumber(new_v) +
+             " | — |\n";
+    } else {
+      out += "| " + path + " | " + FormatNumber(*old_v) + " | " + FormatNumber(new_v) + " | " +
+             FormatDelta(*old_v, new_v) + " |\n";
+    }
+  }
+  for (const auto& [path, old_v] : old_flat) {
+    bool present = false;
+    for (const auto& [new_path, v] : new_flat) {
+      if (new_path == path) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      out += "| " + path + " | " + FormatNumber(old_v) + " | — | removed |\n";
     }
   }
   return out;
