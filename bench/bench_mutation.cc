@@ -18,11 +18,14 @@
 //
 // Flags:
 //   --small       reduced sizes for CI smoke runs (mutation-soak job)
-//   --faults      layer message faults + a node crash over the churn run
+//   --faults      layer message faults + two node crashes over the churn run
 //   --out FILE    JSON output path (default BENCH_mutation.json)
 //   --workers N   workers per node (default 4)
 //   --merge-threshold N  per-row delta count that triggers a merge
 //                        (default 64; 0 = never merge)
+//   --sampler legacy|alias  dirty-row sampler for the churn legs (default
+//                        alias; alias additionally records a
+//                        deepwalk_churn_legacy leg for same-box comparison)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -44,6 +47,7 @@ struct MutationConfig {
   bool faults = false;
   size_t workers_per_node = 4;
   uint32_t merge_threshold = 64;
+  DynamicSamplerMode sampler = DynamicSamplerMode::kAliasClass;
   std::string out_path = "BENCH_mutation.json";
 };
 
@@ -114,6 +118,7 @@ struct WorkloadResult {
   MutationCounters mutations;
   CheckpointStats ckpt;
   uint64_t batches = 0;
+  uint64_t merge_micros = 0;
 };
 
 // A churn log: `batches` epoch-spaced batches of `per_batch` mutations over
@@ -151,7 +156,7 @@ WorkloadResult RunWalkWorkload(const std::string& name,
                                const EdgeList<WeightedEdgeData>& edges,
                                const MutationConfig& config, const MutationLog* log,
                                FaultInjector* injector, walker_id_t num_walkers,
-                               step_t walk_length) {
+                               step_t walk_length, DynamicSamplerMode sampler) {
   WalkEngineOptions opts;
   opts.num_nodes = 4;
   opts.workers_per_node = config.workers_per_node;
@@ -160,6 +165,7 @@ WorkloadResult RunWalkWorkload(const std::string& name,
   if (log != nullptr) {
     opts.mutation_log = log;
     opts.merge_threshold = config.merge_threshold;
+    opts.dynamic_sampler = sampler;
   }
   if (injector != nullptr) {
     opts.fault_injector = injector;
@@ -179,6 +185,7 @@ WorkloadResult RunWalkWorkload(const std::string& name,
   result.mutations = engine.mutation_counters();
   result.ckpt = engine.checkpoint_stats();
   result.batches = engine.mutation_batches_applied();
+  result.merge_micros = engine.merge_micros();
   if (!opts.checkpoint_path.empty()) {
     std::remove(opts.checkpoint_path.c_str());
   }
@@ -203,6 +210,8 @@ void WriteJson(const MutationConfig& config, const std::vector<UpdateCostResult>
   std::fprintf(f, "    \"num_nodes\": 4,\n");
   std::fprintf(f, "    \"workers_per_node\": %zu,\n", config.workers_per_node);
   std::fprintf(f, "    \"merge_threshold\": %u,\n", config.merge_threshold);
+  std::fprintf(f, "    \"dynamic_sampler\": \"%s\",\n",
+               DynamicSamplerModeName(config.sampler));
   std::fprintf(f, "    \"graph_vertices\": %llu,\n",
                static_cast<unsigned long long>(num_vertices));
   std::fprintf(f, "    \"graph_edges\": %llu\n",
@@ -241,12 +250,16 @@ void WriteJson(const MutationConfig& config, const std::vector<UpdateCostResult>
                  static_cast<unsigned long long>(r.mutations.rejected));
     std::fprintf(f, "      \"rows_materialized\": %llu,\n",
                  static_cast<unsigned long long>(r.mutations.rows_materialized));
-    std::fprintf(f, "      \"sampler_row_builds\": %llu,\n",
-                 static_cast<unsigned long long>(r.mutations.row_builds));
+    std::fprintf(f, "      \"sampler_full_builds\": %llu,\n",
+                 static_cast<unsigned long long>(r.mutations.full_builds));
+    std::fprintf(f, "      \"sampler_bucket_builds\": %llu,\n",
+                 static_cast<unsigned long long>(r.mutations.bucket_builds));
     std::fprintf(f, "      \"sampler_incremental_updates\": %llu,\n",
                  static_cast<unsigned long long>(r.mutations.incremental_updates));
     std::fprintf(f, "      \"merges\": %llu,\n",
                  static_cast<unsigned long long>(r.mutations.merges));
+    std::fprintf(f, "      \"merge_micros\": %llu,\n",
+                 static_cast<unsigned long long>(r.merge_micros));
     std::fprintf(f, "      \"recoveries\": %llu\n",
                  static_cast<unsigned long long>(r.ckpt.recoveries));
     std::fprintf(f, "    }%s\n", i + 1 < workloads.size() ? "," : "");
@@ -270,10 +283,20 @@ int Main(int argc, char** argv) {
       config.workers_per_node = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--merge-threshold") == 0 && i + 1 < argc) {
       config.merge_threshold = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sampler") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "legacy") == 0) {
+        config.sampler = DynamicSamplerMode::kLegacyRow;
+      } else if (std::strcmp(mode, "alias") == 0) {
+        config.sampler = DynamicSamplerMode::kAliasClass;
+      } else {
+        std::fprintf(stderr, "bench_mutation: unknown --sampler %s\n", mode);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_mutation [--small] [--faults] [--out FILE] "
-                   "[--workers N] [--merge-threshold N]\n");
+                   "[--workers N] [--merge-threshold N] [--sampler legacy|alias]\n");
       return 2;
     }
   }
@@ -322,9 +345,15 @@ int Main(int argc, char** argv) {
 
   std::vector<WorkloadResult> workloads;
   workloads.push_back(RunWalkWorkload("deepwalk_static", edges, config, nullptr, nullptr,
-                                      num_walkers, walk_length));
+                                      num_walkers, walk_length, config.sampler));
   workloads.push_back(RunWalkWorkload("deepwalk_churn", edges, config, &log, nullptr,
-                                      num_walkers, walk_length));
+                                      num_walkers, walk_length, config.sampler));
+  if (config.sampler == DynamicSamplerMode::kAliasClass) {
+    // Same-box A/B: the eager weight-class rows the alias sampler replaces.
+    workloads.push_back(RunWalkWorkload("deepwalk_churn_legacy", edges, config, &log,
+                                        nullptr, num_walkers, walk_length,
+                                        DynamicSamplerMode::kLegacyRow));
+  }
   if (config.faults) {
     FaultPolicy policy;
     policy.drop = 0.05;
@@ -333,9 +362,36 @@ int Main(int argc, char** argv) {
     injector.CrashNode(1, 3);
     injector.CrashOnMutationBatch(2, log.batch(6).id);
     workloads.push_back(RunWalkWorkload("deepwalk_churn_faults", edges, config, &log,
-                                        &injector, num_walkers, walk_length));
-    if (workloads.back().ckpt.recoveries == 0) {
-      std::fprintf(stderr, "bench_mutation: fault run recovered zero crashes\n");
+                                        &injector, num_walkers, walk_length,
+                                        config.sampler));
+    // The faulted leg must demonstrate *real* recovery, not merely survive:
+    // both scheduled crashes consumed, a checkpoint+replay recovery per
+    // crash, and a completed walk. Any shortfall fails the bench run (the CI
+    // mutation-soak leg asserts this exit code).
+    const WorkloadResult& faulted = workloads.back();
+    if (faulted.ckpt.recoveries < 2) {
+      std::fprintf(stderr,
+                   "bench_mutation: fault run recovered %llu crashes, expected 2\n",
+                   static_cast<unsigned long long>(faulted.ckpt.recoveries));
+      return 1;
+    }
+    if (injector.pending_crashes() != 0 || injector.pending_batch_crashes() != 0) {
+      std::fprintf(stderr,
+                   "bench_mutation: fault run left %zu epoch + %zu batch crashes "
+                   "unconsumed\n",
+                   injector.pending_crashes(), injector.pending_batch_crashes());
+      return 1;
+    }
+    if (faulted.ckpt.checkpoints == 0) {
+      std::fprintf(stderr, "bench_mutation: fault run committed no checkpoints\n");
+      return 1;
+    }
+    if (faulted.stats.steps == 0 || faulted.batches != churn_batches) {
+      std::fprintf(stderr,
+                   "bench_mutation: fault run did not complete (%llu steps, "
+                   "%llu/%zu batches)\n",
+                   static_cast<unsigned long long>(faulted.stats.steps),
+                   static_cast<unsigned long long>(faulted.batches), churn_batches);
       return 1;
     }
   }

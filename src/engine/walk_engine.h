@@ -205,12 +205,19 @@ struct WalkEngineOptions {
   // the graph static (the mutation read path costs one predictable branch).
   // Mutations are incompatible with second-order transitions (parked trials
   // hold local edge indices across supersteps, and respond_query reads the
-  // base CSR) and with reuse_static_state — both are KK_CHECKed.
+  // base CSR) and with reuse_static_state — both are rejected by
+  // ValidateRun() before any setup runs.
   const MutationLog* mutation_log = nullptr;
   // Per-vertex delta budget: once any overlay row has absorbed this many
   // mutations, the whole overlay is folded back into a fresh CSR at the next
   // batch boundary and the flat sampler state is rebuilt. 0 never merges.
   uint32_t merge_threshold = 64;
+  // Which sampler a weighted dirty row uses (docs/DYNAMIC_GRAPHS.md).
+  // kLegacyRow (default) keeps the eager weight-class rows whose RNG draw
+  // sequence the determinism matrix pins byte-for-byte; kAliasClass switches
+  // to lazy per-class alias tables — same distribution (chi-square-pinned),
+  // fewer draws, so walk bytes legitimately differ between modes.
+  DynamicSamplerMode dynamic_sampler = DynamicSamplerMode::kLegacyRow;
   // Deterministic simulation mode: drains every mailbox in a canonical
   // (content-sorted) order so internal processing order is independent of
   // thread scheduling and merge timing. Walk *output* is bit-identical
@@ -256,7 +263,8 @@ struct MutationCounters {
   uint64_t reweighted = 0;
   uint64_t rejected = 0;             // delete-of-absent / reweight-on-unweighted
   uint64_t rows_materialized = 0;    // overlay rows created (first touches)
-  uint64_t row_builds = 0;           // O(degree) weight-class row builds
+  uint64_t full_builds = 0;          // O(degree) whole-row sampler builds
+  uint64_t bucket_builds = 0;        // lazy per-class materializations (kAliasClass)
   uint64_t incremental_updates = 0;  // O(1) single-bucket sampler updates
   uint64_t merges = 0;               // overlay -> CSR folds
   uint64_t delta_mutations = 0;      // currently absorbed by the overlay (gauge)
@@ -336,34 +344,57 @@ class WalkEngine {
   // multiple rounds" run R rounds with distinct seeds over one engine).
   void set_seed(uint64_t seed) { options_.seed = seed; }
 
+  // Validates the (options, transition) combination without running anything.
+  // Returns the empty string when legal, else an actionable error message.
+  // Long-lived callers (the serving layer) should reject configs here at
+  // admission time: Run() enforces the same rules with KK_CHECK, which
+  // aborts the process on a bad config submitted mid-flight.
+  std::string ValidateRun(const TransitionT& transition) const {
+    if (transition.IsDynamic() && !transition.dynamic_upper_bound) {
+      return "dynamic transition requires a dynamic_upper_bound callback "
+             "(the rejection envelope has no ceiling without it)";
+    }
+    if (transition.IsSecondOrder() && !transition.respond_query) {
+      return "second-order transition requires a respond_query callback "
+             "(walkers must be able to ask the previous vertex's node)";
+    }
+    const bool mutating = options_.mutation_log != nullptr;
+    if (mutating && transition.IsSecondOrder()) {
+      return "streaming mutations are not supported with second-order "
+             "transitions: parked trials carry local edge indices across "
+             "supersteps and respond_query answers from the base CSR, both "
+             "of which go stale under row edits. Run second-order walks on a "
+             "static graph (drop WalkEngineOptions::mutation_log) or switch "
+             "to a first-order transition (see docs/DYNAMIC_GRAPHS.md)";
+    }
+    if (mutating && options_.reuse_static_state) {
+      return "streaming mutations rebuild static sampler state on merge; "
+             "reuse_static_state would serve stale tables. Disable one of "
+             "WalkEngineOptions::mutation_log / reuse_static_state";
+    }
+    return std::string();
+  }
+
   // Executes the walk to completion and returns aggregate sampling stats.
   SamplingStats Run(const TransitionT& transition, const WalkerSpecT& walker_spec) {
     transition_ = &transition;
     walker_spec_ = &walker_spec;
     num_walkers_ = walker_spec.num_walkers;
-    KK_CHECK(!transition.IsDynamic() || transition.dynamic_upper_bound);
-    KK_CHECK(!transition.IsSecondOrder() || transition.respond_query);
+    const std::string config_error = ValidateRun(transition);
+    KK_CHECK_MSG(config_error.empty(), "%s", config_error.c_str());
     second_order_ = transition.IsSecondOrder();
     dynamic_ = transition.IsDynamic();
     mutating_ = options_.mutation_log != nullptr;
     weighted_ = transition.static_comp != nullptr || HasWeight<EdgeData>;
-    // Parked second-order trials carry local edge indices across supersteps
-    // and respond_query answers from the base CSR — both would silently go
-    // stale under row edits. Refuse instead of corrupting walks.
-    KK_CHECK_MSG(!(mutating_ && second_order_),
-                 "streaming mutations are not supported with second-order "
-                 "transitions (see docs/DYNAMIC_GRAPHS.md)");
-    KK_CHECK_MSG(!(mutating_ && options_.reuse_static_state),
-                 "streaming mutations rebuild static state on merge; "
-                 "reuse_static_state would serve stale tables");
     if (mutating_ && !delta_.attached()) {
       // First mutating Run: snapshot the pristine CSR (the replay origin —
       // recovery re-derives any merged graph from it) and attach the overlay.
       pristine_graph_ = graph_;
       delta_.Reset(&graph_);
-      overlay_.Reset(graph_.num_vertices());
+      overlay_.Reset(graph_.num_vertices(), options_.dynamic_sampler);
       mutation_cursor_ = 0;
       merges_ = 0;
+      merge_micros_ = 0;
       folded_ = MutationCounters{};
     }
     interleave_group_ = options_.interleave_group_size == 0
@@ -532,7 +563,8 @@ class WalkEngine {
     c.reweighted += s.reweighted;
     c.rejected += s.rejected;
     c.rows_materialized += s.rows_materialized;
-    c.row_builds += overlay_.row_builds();
+    c.full_builds += overlay_.full_builds();
+    c.bucket_builds += overlay_.bucket_builds();
     c.incremental_updates += overlay_.incremental_updates();
     c.merges = merges_;
     c.delta_mutations = delta_.DeltaMutations();
@@ -541,6 +573,10 @@ class WalkEngine {
 
   // Mutation-log batches applied so far (the checkpoint cursor).
   size_t mutation_batches_applied() const { return mutation_cursor_; }
+
+  // Wall-clock spent folding the overlay into fresh CSRs (all merges so
+  // far). Unstable across machines — exported as an unstable metric.
+  uint64_t merge_micros() const { return merge_micros_; }
 
   // kAuto locality estimate: bytes a batch of this size will touch — its own
   // walker state, one static row per distinct landing vertex, and (under
@@ -752,10 +788,13 @@ class WalkEngine {
     out.SetGauge("graph.delta_edges", with({}),
                  static_cast<double>(mc.delta_mutations), /*stable=*/true);
     out.AddCounter("graph.merges", with({}), mc.merges);
+    // Wall-clock: never part of the deterministic snapshot contract.
+    out.AddCounter("graph.merge_micros", with({}), merge_micros_, /*stable=*/false);
     out.AddCounter("graph.mutations_applied", with({}), mc.applied());
     out.AddCounter("graph.mutations_rejected", with({}), mc.rejected);
     out.AddCounter("sampler.incremental_updates", with({}), mc.incremental_updates);
-    out.AddCounter("sampler.row_builds", with({}), mc.row_builds);
+    out.AddCounter("sampler.full_builds", with({}), mc.full_builds);
+    out.AddCounter("sampler.bucket_builds", with({}), mc.bucket_builds);
     out.AddCounter("engine.checkpoints", with({}), ckpt_stats_.checkpoints);
     out.AddCounter("engine.checkpoint_bytes", with({}), ckpt_stats_.checkpoint_bytes);
     // Wall-clock: never part of the deterministic snapshot contract.
@@ -1025,7 +1064,9 @@ class WalkEngine {
 
   // Ps-proportional candidate draw at v. Unweighted dirty rows draw uniform
   // over the live degree (the flat uniform sampler's degree would be stale).
-  vertex_id_t SampleCandidate(vertex_id_t v, Rng& rng) const {
+  // Non-const: a kAliasClass overlay sample may lazily materialize the class
+  // it lands in (worker-thread-safe — see LazyAliasRow).
+  vertex_id_t SampleCandidate(vertex_id_t v, Rng& rng) {
     if (DirtyRow(v)) {
       if (weighted_) {
         return static_cast<vertex_id_t>(overlay_.Sample(v, rng));
@@ -1136,15 +1177,19 @@ class WalkEngine {
   }
 
   // Folds base + overlay into a fresh CSR and rebuilds the flat static state
-  // over it. O(V + E), amortized over merge_threshold mutations per row.
+  // over it. Clean rows byte-copy and dirty rows sort, in parallel vertex
+  // chunks on the prepare pool; amortized over merge_threshold mutations per
+  // row. Wall-clock accrues to merge_micros (graph.merge_micros, unstable).
   void MergeOverlay() {
+    Timer merge_timer;
     FoldMutationCounters();
-    Csr<EdgeData> merged = delta_.MergedCsr();
+    Csr<EdgeData> merged = delta_.MergedCsr(PreparePool());
     graph_ = std::move(merged);
     delta_.Reset(&graph_);
-    overlay_.Reset(graph_.num_vertices());
+    overlay_.Reset(graph_.num_vertices(), options_.dynamic_sampler);
     ++merges_;
     PrepareStatic();  // flat sampler tables, envelope arrays, partition plan
+    merge_micros_ += static_cast<uint64_t>(merge_timer.Seconds() * 1e6);
   }
 
   // Preserves the live overlay counters across the resets Merge performs.
@@ -1155,7 +1200,8 @@ class WalkEngine {
     folded_.reweighted += s.reweighted;
     folded_.rejected += s.rejected;
     folded_.rows_materialized += s.rows_materialized;
-    folded_.row_builds += overlay_.row_builds();
+    folded_.full_builds += overlay_.full_builds();
+    folded_.bucket_builds += overlay_.bucket_builds();
     folded_.incremental_updates += overlay_.incremental_updates();
   }
 
@@ -1173,8 +1219,9 @@ class WalkEngine {
                  count, log.num_batches());
     graph_ = pristine_graph_;
     delta_.Reset(&graph_);
-    overlay_.Reset(graph_.num_vertices());
+    overlay_.Reset(graph_.num_vertices(), options_.dynamic_sampler);
     merges_ = 0;
+    merge_micros_ = 0;
     folded_ = MutationCounters{};
     PrepareStatic();
     mutation_cursor_ = 0;
@@ -2397,6 +2444,7 @@ class WalkEngine {
   std::vector<real_t> ps_row_buffer_;  // driver-only scratch for row builds
   size_t mutation_cursor_ = 0;         // log batches applied (checkpoint cut)
   uint64_t merges_ = 0;
+  uint64_t merge_micros_ = 0;  // wall-clock in MergeOverlay (unstable metric)
   MutationCounters folded_;  // counters folded out of overlay resets at merge
   bool mutating_ = false;
   bool weighted_ = false;

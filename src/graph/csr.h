@@ -55,6 +55,21 @@ class Csr {
     return csr;
   }
 
+  // Adopts pre-built offsets + adjacency verbatim (no per-row sort). For
+  // builders that already produce rows in the CSR invariant — e.g. the
+  // parallel overlay merge, which copies clean rows and sorts only dirty
+  // ones. The caller owns the neighbor-sorted contract; shape is validated.
+  static Csr FromParts(std::vector<edge_index_t> offsets, std::vector<AdjUnit<EdgeData>> adj) {
+    KK_CHECK_MSG(!offsets.empty() && offsets.front() == 0 &&
+                     offsets.back() == static_cast<edge_index_t>(adj.size()),
+                 "CSR parts disagree: %zu offsets, %zu adjacency entries", offsets.size(),
+                 adj.size());
+    Csr csr;
+    csr.offsets_ = std::move(offsets);
+    csr.adj_ = std::move(adj);
+    return csr;
+  }
+
   vertex_id_t num_vertices() const { return static_cast<vertex_id_t>(offsets_.size() - 1); }
   edge_index_t num_edges() const { return static_cast<edge_index_t>(adj_.size()); }
 

@@ -32,6 +32,7 @@
 #include "src/graph/edge_list.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 #include "src/util/types.h"
 
 namespace knightking {
@@ -321,24 +322,42 @@ class DeltaStore {
     return edit;
   }
 
-  // Folds base + overlay into a fresh neighbor-sorted CSR. Deterministic:
-  // rows are emitted in vertex order; each row's edges are stable-sorted by
-  // neighbor from the (deterministic) overlay layout. The caller swaps the
-  // result in as the new base and Resets the overlay.
-  Csr<EdgeData> MergedCsr() const {
-    EdgeList<EdgeData> list;
-    list.num_vertices = base_->num_vertices();
-    uint64_t total = 0;
-    for (vertex_id_t v = 0; v < base_->num_vertices(); ++v) {
-      total += OutDegree(v);
+  // Folds base + overlay into a fresh neighbor-sorted CSR. Incremental and
+  // parallel: clean rows are byte-copied from the base (already sorted —
+  // only the dirty-row fraction pays a sort), and rows are filled in
+  // independent vertex chunks on `pool` when one is provided. Deterministic
+  // regardless of pool: each row's bytes depend only on that row's (base,
+  // overlay) state and the sort comparator matches FromEdgeList's, so the
+  // output is byte-identical serial vs pooled. The caller swaps the result
+  // in as the new base and Resets the overlay.
+  Csr<EdgeData> MergedCsr(ThreadPool* pool = nullptr) const {
+    const vertex_id_t n = base_->num_vertices();
+    std::vector<edge_index_t> offsets(static_cast<size_t>(n) + 1, 0);
+    for (vertex_id_t v = 0; v < n; ++v) {
+      offsets[v + 1] = offsets[v] + OutDegree(v);
     }
-    list.edges.reserve(total);
-    for (vertex_id_t v = 0; v < base_->num_vertices(); ++v) {
-      for (const AdjUnit<EdgeData>& u : Neighbors(v)) {
-        list.edges.push_back(Edge<EdgeData>{v, u.neighbor, u.data});
+    std::vector<AdjUnit<EdgeData>> adj(offsets[n]);
+    auto fill_rows = [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        const auto src = Neighbors(static_cast<vertex_id_t>(v));
+        AdjUnit<EdgeData>* dst = adj.data() + offsets[v];
+        std::copy(src.begin(), src.end(), dst);
+        if (IsDirty(static_cast<vertex_id_t>(v))) {
+          // Dirty rows lost neighbor order (swap-with-last deletes, appended
+          // inserts); restore it with the same comparator FromEdgeList uses.
+          std::sort(dst, dst + src.size(),
+                    [](const AdjUnit<EdgeData>& a, const AdjUnit<EdgeData>& b) {
+                      return a.neighbor < b.neighbor;
+                    });
+        }
       }
+    };
+    if (pool != nullptr && pool->num_workers() > 0) {
+      pool->ParallelFor(n, BuildChunkSize(n, pool->num_workers()), fill_rows);
+    } else {
+      fill_rows(0, n);
     }
-    return Csr<EdgeData>::FromEdgeList(list);
+    return Csr<EdgeData>::FromParts(std::move(offsets), std::move(adj));
   }
 
  private:

@@ -23,6 +23,7 @@
 
 #include "src/apps/deepwalk.h"
 #include "src/apps/no_return.h"
+#include "src/apps/node2vec.h"
 #include "src/engine/checkpoint.h"
 #include "src/engine/walk_engine.h"
 #include "src/graph/annotate.h"
@@ -293,6 +294,87 @@ TEST(WeightClassRowTest, WideDynamicRangeStaysExact) {
 }
 
 // ---------------------------------------------------------------------------
+// LazyAliasRow: the kAliasClass sampler — same exact distribution, lazy
+// per-class materialization, zero-rejection alias draws.
+// ---------------------------------------------------------------------------
+
+TEST(LazyAliasRowTest, SampleMatchesWeightsAfterIncrementalEdits) {
+  LazyAliasRow row;
+  std::vector<real_t> weights = {1.0f, 2.0f, 4.0f, 0.5f};
+  row.Build(weights);
+  row.PushBack(8.0f);          // weights: 1 2 4 .5 8
+  row.Reweight(1, 6.0f);       // weights: 1 6 4 .5 8
+  row.SwapRemove(0);           // index 0 now holds old last: 8 6 4 .5
+  std::vector<double> expect = {8.0, 6.0, 4.0, 0.5};
+  EXPECT_NEAR(row.total_weight(), 18.5, 1e-9);
+  Rng rng(kSeed);
+  std::vector<uint64_t> counts(expect.size(), 0);
+  for (int i = 0; i < 40000; ++i) {
+    uint32_t idx = row.Sample(rng);
+    ASSERT_LT(idx, counts.size());
+    ++counts[idx];
+  }
+  ExpectChiSquareOk(counts, expect);
+}
+
+TEST(LazyAliasRowTest, ZeroWeightEntriesAreNeverSampled) {
+  LazyAliasRow row;
+  row.Build(std::vector<real_t>{1.0f, 0.0f, 3.0f});
+  row.Reweight(2, 0.0f);
+  row.PushBack(5.0f);  // live: index 0 (1.0) and index 3 (5.0)
+  Rng rng(kSeed);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t idx = row.Sample(rng);
+    EXPECT_TRUE(idx == 0 || idx == 3) << idx;
+  }
+  EXPECT_NEAR(row.total_weight(), 6.0, 1e-9);
+}
+
+TEST(LazyAliasRowTest, WideDynamicRangeStaysExact) {
+  // 2^-20 vs 2^20: both weights sit in their own class, the class CDF stays
+  // proportional across 40 doublings, and the dominant class is the only one
+  // that ever materializes.
+  LazyAliasRow row;
+  row.Build(std::vector<real_t>{0x1.0p-20f, 0x1.0p20f});
+  Rng rng(kSeed);
+  uint64_t big = 0;
+  for (int i = 0; i < 10000; ++i) {
+    big += row.Sample(rng) == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(big, 10000u);  // tiny weight ~ 1e-12 probability: never in 1e4 draws
+  EXPECT_EQ(row.max_weight(), 0x1.0p20f);
+  EXPECT_EQ(row.bucket_builds(), 1u);  // the 2^-20 class was never built
+}
+
+TEST(LazyAliasRowTest, BucketsMaterializeLazilyAndRebuildOnStale) {
+  // All three weights share ilogb == 1, so the row has exactly one class.
+  LazyAliasRow row;
+  row.Build(std::vector<real_t>{2.0f, 2.5f, 3.0f});
+  EXPECT_EQ(row.bucket_builds(), 0u);  // Build is summary-only
+  Rng rng(kSeed);
+  for (int i = 0; i < 50; ++i) {
+    row.Sample(rng);
+  }
+  EXPECT_EQ(row.bucket_builds(), 1u);  // first sample built it, rest reused
+  // An in-class reweight keeps membership but stales the alias: exactly one
+  // rebuild on the next sample, O(bucket) not O(degree * samples).
+  row.Reweight(0, 3.5f);
+  EXPECT_EQ(row.bucket_builds(), 1u);
+  for (int i = 0; i < 50; ++i) {
+    row.Sample(rng);
+  }
+  EXPECT_EQ(row.bucket_builds(), 2u);
+  // A new class costs nothing until a sample lands in it.
+  row.PushBack(1000.0f);
+  EXPECT_EQ(row.bucket_builds(), 2u);
+  for (int i = 0; i < 2000; ++i) {
+    row.Sample(rng);
+  }
+  // The 1000-class built once; the small class was already fresh.
+  EXPECT_EQ(row.bucket_builds(), 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Engine integration: the determinism matrix (tentpole acceptance).
 // ---------------------------------------------------------------------------
 
@@ -324,10 +406,12 @@ MatrixRun RunDeepWalkWithMutations(const EdgeList<WeightedEdgeData>& edges,
                                    const MutationLog& log, size_t workers, bool faulty,
                                    std::optional<uint64_t> crash_epoch,
                                    std::optional<uint64_t> crash_batch,
-                                   uint32_t merge_threshold, const std::string& tag) {
+                                   uint32_t merge_threshold, const std::string& tag,
+                                   DynamicSamplerMode sampler = DynamicSamplerMode::kLegacyRow) {
   WalkEngineOptions opts = BaseOptions(/*num_nodes=*/4, workers);
   opts.mutation_log = &log;
   opts.merge_threshold = merge_threshold;
+  opts.dynamic_sampler = sampler;
   FaultInjector* injector_ptr = nullptr;
   FaultPolicy policy;
   if (faulty) {
@@ -456,6 +540,86 @@ TEST(MutationDeterminismTest, DynamicTransitionWithMutationsIsDeterministic) {
   EXPECT_EQ(run_once(4), base);
 }
 
+TEST(MutationDeterminismTest, DynamicSamplerLegacyVsAliasAB) {
+  auto edges = AssignUniformWeights(GenerateUniformDegree(200, 8, 301), 1.0f, 5.0f, 11);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(edges);
+  MutationLog log = BuildSchedule(csr);
+  auto run = [&](DynamicSamplerMode mode, size_t workers) {
+    return RunDeepWalkWithMutations(edges, log, workers, /*faulty=*/false, std::nullopt,
+                                    std::nullopt, /*merge_threshold=*/0, "ab", mode)
+        .paths;
+  };
+  // Each mode is byte-stable across worker placement...
+  std::vector<PathEntry> legacy = run(DynamicSamplerMode::kLegacyRow, 0);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(run(DynamicSamplerMode::kLegacyRow, 4), legacy);
+  std::vector<PathEntry> alias = run(DynamicSamplerMode::kAliasClass, 0);
+  ASSERT_FALSE(alias.empty());
+  EXPECT_EQ(run(DynamicSamplerMode::kAliasClass, 4), alias);
+  // ...but the modes consume different RNG draw sequences on dirty rows, so
+  // their walks legitimately diverge — which is exactly why kAliasClass is
+  // gated behind the option instead of silently replacing the default.
+  EXPECT_NE(alias, legacy);
+}
+
+TEST(MutationDeterminismTest, AliasSamplerCrashRecoveryIsByteIdentical) {
+  // Crash-and-replay under kAliasClass: the replay rebuilds overlay rows
+  // without sampling, so recovery only stays byte-identical because
+  // materialized class state is a pure function of current row membership
+  // (item lists in ascending index order, rebuilt on first post-recovery
+  // sample) — the property this test pins.
+  auto edges = AssignUniformWeights(GenerateUniformDegree(200, 8, 301), 1.0f, 5.0f, 11);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(edges);
+  MutationLog log = BuildSchedule(csr);
+  MatrixRun reference = RunDeepWalkWithMutations(
+      edges, log, 0, false, std::nullopt, std::nullopt, /*merge_threshold=*/4, "alref",
+      DynamicSamplerMode::kAliasClass);
+  ASSERT_FALSE(reference.paths.empty());
+  MatrixRun run = RunDeepWalkWithMutations(
+      edges, log, WorkersFromEnv(), false, std::optional<uint64_t>(4), std::nullopt,
+      /*merge_threshold=*/4, "alcrash", DynamicSamplerMode::kAliasClass);
+  EXPECT_EQ(run.paths, reference.paths);
+  EXPECT_GT(run.ckpt.recoveries, 0u);
+  EXPECT_EQ(run.mutations.applied(), reference.mutations.applied());
+  EXPECT_EQ(run.mutations.merges, reference.mutations.merges);
+}
+
+// ---------------------------------------------------------------------------
+// Option validation: bad configs are rejected with an actionable error
+// before any setup runs (so a service can refuse them instead of dying on
+// the KK_CHECK inside Run).
+// ---------------------------------------------------------------------------
+
+TEST(ValidateRunTest, RejectsMutatingSecondOrderAndStaleStateCombos) {
+  auto edges = AssignUniformWeights(GenerateUniformDegree(50, 6, 301), 1.0f, 5.0f, 11);
+  MutationLog log(kSeed);
+  log.Append(1, {Ins(0, 30, 2.0f)});
+
+  WalkEngineOptions opts = BaseOptions(2, 0);
+  opts.mutation_log = &log;
+  WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(edges), opts);
+  // First-order transitions are fine under mutation.
+  EXPECT_EQ(engine.ValidateRun(DeepWalkTransition<WeightedEdgeData>()), "");
+  // Second-order x mutation: rejected with a pointer at the fix.
+  std::string err =
+      engine.ValidateRun(Node2VecTransition(engine.graph(), Node2VecParams{}));
+  EXPECT_NE(err.find("second-order"), std::string::npos) << err;
+  EXPECT_NE(err.find("mutation_log"), std::string::npos) << err;
+
+  // reuse_static_state x mutation: also rejected, distinct message.
+  WalkEngineOptions sopts = BaseOptions(2, 0);
+  sopts.mutation_log = &log;
+  sopts.reuse_static_state = true;
+  WalkEngine<WeightedEdgeData> stale(Csr<WeightedEdgeData>::FromEdgeList(edges), sopts);
+  std::string serr = stale.ValidateRun(DeepWalkTransition<WeightedEdgeData>());
+  EXPECT_NE(serr.find("reuse_static_state"), std::string::npos) << serr;
+
+  // Without a mutation log the same transitions validate cleanly.
+  WalkEngineOptions copts = BaseOptions(2, 0);
+  WalkEngine<WeightedEdgeData> clean(Csr<WeightedEdgeData>::FromEdgeList(edges), copts);
+  EXPECT_EQ(clean.ValidateRun(Node2VecTransition(clean.graph(), Node2VecParams{})), "");
+}
+
 // ---------------------------------------------------------------------------
 // Incremental-maintenance cost: the O(1) counter pins.
 // ---------------------------------------------------------------------------
@@ -473,7 +637,9 @@ TEST(IncrementalSamplerTest, OneRowBuildPerDirtyVertexThenO1Updates) {
   // materialization + sampler row build each, no matter how many mutations
   // land on the row afterwards.
   EXPECT_EQ(mc.rows_materialized, 4u);
-  EXPECT_EQ(mc.row_builds, 4u);
+  EXPECT_EQ(mc.full_builds, 4u);
+  // Legacy rows build every bucket eagerly: no lazy materializations.
+  EXPECT_EQ(mc.bucket_builds, 0u);
   // Every accepted mutation is one O(1) bucket edit; the rejected delete
   // (4 -> 199) mirrors nothing.
   EXPECT_EQ(mc.rejected, 1u);
@@ -487,9 +653,33 @@ TEST(IncrementalSamplerTest, OneRowBuildPerDirtyVertexThenO1Updates) {
   engine.ExportMetrics(reg);
   std::string json = reg.ToJson();
   EXPECT_NE(json.find("graph.delta_edges"), std::string::npos);
+  EXPECT_NE(json.find("graph.merge_micros"), std::string::npos);
   EXPECT_NE(json.find("graph.mutations_applied"), std::string::npos);
   EXPECT_NE(json.find("sampler.incremental_updates"), std::string::npos);
-  EXPECT_NE(json.find("sampler.row_builds"), std::string::npos);
+  EXPECT_NE(json.find("sampler.full_builds"), std::string::npos);
+  EXPECT_NE(json.find("sampler.bucket_builds"), std::string::npos);
+}
+
+TEST(IncrementalSamplerTest, AliasModeBuildsSummariesEagerlyBucketsLazily) {
+  auto edges = AssignUniformWeights(GenerateUniformDegree(200, 8, 301), 1.0f, 5.0f, 11);
+  auto csr = Csr<WeightedEdgeData>::FromEdgeList(edges);
+  MutationLog log = BuildSchedule(csr);
+  WalkEngineOptions opts = BaseOptions(2, WorkersFromEnv());
+  opts.mutation_log = &log;
+  opts.dynamic_sampler = DynamicSamplerMode::kAliasClass;
+  WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(edges), opts);
+  engine.Run(DeepWalkTransition<WeightedEdgeData>(), DeepWalkWalkers(60, {.walk_length = 10}));
+  MutationCounters mc = engine.mutation_counters();
+  // Same O(degree)-once / O(1)-after contract as legacy rows...
+  EXPECT_EQ(mc.rows_materialized, 4u);
+  EXPECT_EQ(mc.full_builds, 4u);
+  EXPECT_EQ(mc.incremental_updates, mc.applied());
+  // ...plus lazy class materializations, only where samples actually landed:
+  // strictly fewer than a full eager build of every class of every dirty row
+  // would cost, but nonzero because walkers do hit the dirty vertices.
+  EXPECT_GT(mc.bucket_builds, 0u);
+  EXPECT_LT(mc.bucket_builds,
+            mc.rows_materialized * static_cast<uint64_t>(LazyAliasRow::kNumClasses));
 }
 
 TEST(IncrementalSamplerTest, TouchedBytesEstimateGrowsWithDeltaRows) {
@@ -526,6 +716,39 @@ TEST(MutationDistributionTest, FirstStepsMatchLiveRowWeights) {
   log.Append(0, {Ins(0, 4, 4.0f), Rew(0, 2, 6.0f), Del(0, 1)});
   WalkEngineOptions opts = BaseOptions(1, WorkersFromEnv());
   opts.mutation_log = &log;
+  WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(list), opts);
+  WalkerSpec<> walkers;
+  walkers.num_walkers = 30000;
+  walkers.max_steps = 1;
+  walkers.start_vertex = [](walker_id_t, Rng&) -> vertex_id_t { return 0; };
+  engine.Run(DeepWalkTransition<WeightedEdgeData>(), walkers);
+  auto paths = engine.TakePathEntries();
+  // Live row after the epoch-0 batch: {2: 6, 3: 3, 4: 4}; 1 deleted.
+  std::vector<uint64_t> counts(5, 0);
+  for (const PathEntry& p : paths) {
+    if (p.step == 1) {
+      ASSERT_LT(p.vertex, counts.size());
+      ++counts[p.vertex];
+    }
+  }
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  ExpectChiSquareOk({counts[2], counts[3], counts[4]}, {6.0, 3.0, 4.0});
+}
+
+TEST(MutationDistributionTest, FirstStepsMatchLiveRowWeightsAliasSampler) {
+  // Same star-graph fixture through the kAliasClass read path: the lazy
+  // class CDF + per-class alias draw must reproduce the exact edge-weight
+  // law over the mutated hub row.
+  EdgeList<WeightedEdgeData> list;
+  list.num_vertices = 8;
+  list.edges = {{0, 1, {1.0f}}, {0, 2, {2.0f}}, {0, 3, {3.0f}},
+                {1, 0, {1.0f}}, {2, 0, {1.0f}}, {3, 0, {1.0f}}};
+  MutationLog log(kSeed);
+  log.Append(0, {Ins(0, 4, 4.0f), Rew(0, 2, 6.0f), Del(0, 1)});
+  WalkEngineOptions opts = BaseOptions(1, WorkersFromEnv());
+  opts.mutation_log = &log;
+  opts.dynamic_sampler = DynamicSamplerMode::kAliasClass;
   WalkEngine<WeightedEdgeData> engine(Csr<WeightedEdgeData>::FromEdgeList(list), opts);
   WalkerSpec<> walkers;
   walkers.num_walkers = 30000;

@@ -235,6 +235,7 @@ std::string MutationReport(double churn_walks_per_sec, double recoveries) {
     "bench": "mutation",
     "config": {"small": true, "faults": true, "num_nodes": 4,
                "workers_per_node": 0, "merge_threshold": 64,
+               "dynamic_sampler": "alias",
                "graph_vertices": 100, "graph_edges": 400},
     "update_cost": [{
       "degree": 256, "updates": 1000, "incremental_ns_per_update": 15.0,
@@ -244,8 +245,9 @@ std::string MutationReport(double churn_walks_per_sec, double recoveries) {
       "name": "deepwalk_churn", "walkers": 100, "seconds": 0.5,
       "walks_per_sec": @WPS@, "steps_per_sec": 1000.0, "steps": 500,
       "mutation_batches": 10, "mutations_applied": 40, "mutations_rejected": 1,
-      "rows_materialized": 4, "sampler_row_builds": 4,
-      "sampler_incremental_updates": 36, "merges": 2, "recoveries": @REC@
+      "rows_materialized": 4, "sampler_full_builds": 4, "sampler_bucket_builds": 9,
+      "sampler_incremental_updates": 36, "merges": 2, "merge_micros": 120,
+      "recoveries": @REC@
     }]
   })";
   auto sub = [&out](const std::string& tag, double value) {
@@ -304,6 +306,59 @@ TEST(MetricsCheckerTest, DiffRendersPerMetricDeltas) {
   obs::JsonValue junk;
   ASSERT_TRUE(obs::JsonValue::Parse("{\"schema_version\": 1}", &junk, &error)) << error;
   EXPECT_EQ(metrics::DiffDocuments(junk, new_doc).rfind("error:", 0), 0u);
+}
+
+TEST(MetricsCheckerTest, DiffListsOneSidedMetricsAsAddedAndRemoved) {
+  // Rename the workload on one side: every metric under it then exists in
+  // only one report, so the diff must render added/removed rows instead of
+  // silently dropping them (or worse, pairing them up by position).
+  std::string renamed = MutationReport(250.0, 2.0);
+  size_t pos = renamed.find("\"deepwalk_churn\"");
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, std::string("\"deepwalk_churn\"").size(), "\"deepwalk_alias\"");
+
+  obs::JsonValue old_doc;
+  obs::JsonValue new_doc;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(200.0, 2.0), &old_doc, &error)) << error;
+  ASSERT_TRUE(obs::JsonValue::Parse(renamed, &new_doc, &error)) << error;
+
+  std::string diff = metrics::DiffDocuments(old_doc, new_doc);
+  EXPECT_NE(diff.find("| workloads.deepwalk_alias.walks_per_sec | — | 250 | added |"),
+            std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("| workloads.deepwalk_churn.walks_per_sec | 200 | — | removed |"),
+            std::string::npos)
+      << diff;
+  // Shared paths (config, update_cost) still diff normally alongside.
+  EXPECT_NE(diff.find("| config.merge_threshold | 64 | 64 | — |"), std::string::npos) << diff;
+}
+
+TEST(MetricsCheckerTest, GateRatioFlagsChurnRegressions) {
+  obs::JsonValue baseline;
+  obs::JsonValue healthy;
+  obs::JsonValue regressed;
+  std::string error;
+  // steps_per_sec is fixed at 1000 in the fixture, so the gated ratio tracks
+  // walks_per_sec: baseline 0.2, healthy 0.25, regressed 0.05.
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(200.0, 2.0), &baseline, &error)) << error;
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(250.0, 2.0), &healthy, &error)) << error;
+  ASSERT_TRUE(obs::JsonValue::Parse(MutationReport(50.0, 2.0), &regressed, &error)) << error;
+
+  const std::string num = "workloads.deepwalk_churn.walks_per_sec";
+  const std::string den = "workloads.deepwalk_churn.steps_per_sec";
+  EXPECT_NE(metrics::GateRatio(baseline, healthy, num, den, 0.5).rfind("error:", 0), 0u);
+  // Equal documents pass at any floor ≤ 1.
+  EXPECT_NE(metrics::GateRatio(baseline, baseline, num, den, 1.0).rfind("error:", 0), 0u);
+
+  std::string fail = metrics::GateRatio(baseline, regressed, num, den, 0.5);
+  EXPECT_EQ(fail.rfind("error:", 0), 0u) << fail;
+  EXPECT_NE(fail.find("ratio regression"), std::string::npos) << fail;
+
+  // Missing metrics are an error, not a silent pass.
+  EXPECT_EQ(metrics::GateRatio(baseline, healthy, "workloads.nope.walks_per_sec", den, 0.5)
+                .rfind("error:", 0),
+            0u);
 }
 
 // ---------------------------------------------------------------------------

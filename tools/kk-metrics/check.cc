@@ -3,6 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace knightking {
@@ -280,7 +284,8 @@ void CheckMutation(const JsonValue& doc, CheckResult* r) {
       !RequireNumber(*config, "workers_per_node", r, "config") ||
       !RequireNumber(*config, "merge_threshold", r, "config") ||
       !RequireNumber(*config, "graph_vertices", r, "config") ||
-      !RequireNumber(*config, "graph_edges", r, "config")) {
+      !RequireNumber(*config, "graph_edges", r, "config") ||
+      !OptionalEnum(*config, "dynamic_sampler", {"legacy", "alias"}, r, "config")) {
     return;
   }
   // Part 1: incremental-vs-rebuild update microbenchmark, one row per degree.
@@ -327,11 +332,16 @@ void CheckMutation(const JsonValue& doc, CheckResult* r) {
     }
     for (const char* key :
          {"walkers", "seconds", "walks_per_sec", "steps_per_sec", "steps", "mutation_batches",
-          "mutations_applied", "mutations_rejected", "rows_materialized", "sampler_row_builds",
+          "mutations_applied", "mutations_rejected", "rows_materialized", "sampler_full_builds",
           "sampler_incremental_updates", "merges", "recoveries"}) {
       if (!RequireNumber(w, key, r, where)) {
         return;
       }
+    }
+    // Lazy-sampler and merge-attribution fields (post-format-shipped).
+    if (!OptionalNumber(w, "sampler_bucket_builds", r, where) ||
+        !OptionalNumber(w, "merge_micros", r, where)) {
+      return;
     }
     if (w.Find("seconds")->AsNumber() < 0 || w.Find("walks_per_sec")->AsNumber() < 0) {
       Fail(r, where + ": negative timing");
@@ -555,6 +565,19 @@ std::string DiffDocuments(const JsonValue& old_doc, const JsonValue& new_doc) {
   std::vector<std::pair<std::string, double>> new_flat;
   FlattenNumericLeaves(old_doc, "", &old_flat);
   FlattenNumericLeaves(new_doc, "", &new_flat);
+  // Index each side by path once — the pairing below is then O(n) instead of
+  // the O(n²) linear rescans per row. First occurrence wins, matching the
+  // old scans' behavior on (ill-formed) duplicate paths.
+  std::unordered_map<std::string_view, double> old_by_path;
+  old_by_path.reserve(old_flat.size());
+  for (const auto& [path, v] : old_flat) {
+    old_by_path.emplace(path, v);
+  }
+  std::unordered_set<std::string_view> new_paths;
+  new_paths.reserve(new_flat.size());
+  for (const auto& [path, v] : new_flat) {
+    new_paths.insert(path);
+  }
 
   std::string out;
   out += "### " + new_r.kind + " diff\n\n";
@@ -563,36 +586,78 @@ std::string DiffDocuments(const JsonValue& old_doc, const JsonValue& new_doc) {
   // Iterate in new-document order so the table reads like the fresh report;
   // baseline-only metrics trail at the end as removals.
   for (const auto& [path, new_v] : new_flat) {
-    const double* old_v = nullptr;
-    for (const auto& [old_path, v] : old_flat) {
-      if (old_path == path) {
-        old_v = &v;
-        break;
-      }
-    }
-    if (old_v == nullptr) {
+    auto it = old_by_path.find(path);
+    if (it == old_by_path.end()) {
       out += "| " + path + " | — | " + FormatNumber(new_v) + " | added |\n";
-    } else if (*old_v == new_v) {
-      out += "| " + path + " | " + FormatNumber(*old_v) + " | " + FormatNumber(new_v) +
+    } else if (it->second == new_v) {
+      out += "| " + path + " | " + FormatNumber(it->second) + " | " + FormatNumber(new_v) +
              " | — |\n";
     } else {
-      out += "| " + path + " | " + FormatNumber(*old_v) + " | " + FormatNumber(new_v) + " | " +
-             FormatDelta(*old_v, new_v) + " |\n";
+      out += "| " + path + " | " + FormatNumber(it->second) + " | " + FormatNumber(new_v) +
+             " | " + FormatDelta(it->second, new_v) + " |\n";
     }
   }
   for (const auto& [path, old_v] : old_flat) {
-    bool present = false;
-    for (const auto& [new_path, v] : new_flat) {
-      if (new_path == path) {
-        present = true;
-        break;
-      }
-    }
-    if (!present) {
+    if (new_paths.find(path) == new_paths.end()) {
       out += "| " + path + " | " + FormatNumber(old_v) + " | — | removed |\n";
     }
   }
   return out;
+}
+
+std::string GateRatio(const JsonValue& old_doc, const JsonValue& new_doc,
+                      const std::string& num_path, const std::string& den_path,
+                      double floor) {
+  CheckResult old_r = CheckDocument(old_doc);
+  if (!old_r.ok) {
+    return "error: baseline document invalid: " + old_r.error + "\n";
+  }
+  CheckResult new_r = CheckDocument(new_doc);
+  if (!new_r.ok) {
+    return "error: new document invalid: " + new_r.error + "\n";
+  }
+  std::vector<std::pair<std::string, double>> old_flat;
+  std::vector<std::pair<std::string, double>> new_flat;
+  FlattenNumericLeaves(old_doc, "", &old_flat);
+  FlattenNumericLeaves(new_doc, "", &new_flat);
+  auto lookup = [](const std::vector<std::pair<std::string, double>>& flat,
+                   const std::string& path, const char* which) {
+    for (const auto& [p, v] : flat) {
+      if (p == path) {
+        return std::make_pair(v, std::string());
+      }
+    }
+    return std::make_pair(0.0, "error: " + std::string(which) + " document has no metric \"" +
+                                   path + "\"\n");
+  };
+  double values[4];
+  size_t i = 0;
+  for (const auto& [doc_flat, which] :
+       {std::make_pair(&old_flat, "baseline"), std::make_pair(&new_flat, "new")}) {
+    for (const std::string& path : {num_path, den_path}) {
+      auto [v, err] = lookup(*doc_flat, path, which);
+      if (!err.empty()) {
+        return err;
+      }
+      if (v <= 0.0) {
+        return "error: metric \"" + path + "\" in " + which +
+               " document is not positive (" + FormatNumber(v) + ")\n";
+      }
+      values[i++] = v;
+    }
+  }
+  const double baseline_ratio = values[0] / values[1];
+  const double new_ratio = values[2] / values[3];
+  const double relative = new_ratio / baseline_ratio;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%s / %s: baseline ratio %.4f, new ratio %.4f (%.2fx, floor %.2fx)\n",
+                num_path.c_str(), den_path.c_str(), baseline_ratio, new_ratio, relative,
+                floor);
+  if (relative < floor) {
+    return "error: ratio regression: " + std::string(line);
+  }
+  return line;
 }
 
 }  // namespace metrics

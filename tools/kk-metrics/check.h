@@ -47,6 +47,17 @@ std::string Summarize(const obs::JsonValue& doc);
 std::string DiffDocuments(const obs::JsonValue& old_doc,
                           const obs::JsonValue& new_doc);
 
+// Ratio gate for perf CI: computes num_path/den_path in both documents
+// (flattened-path lookup, same addressing as DiffDocuments) and fails when
+// the new ratio drops below `floor` × the baseline ratio. Normalizing by an
+// in-document denominator (e.g. churn walks/s over static walks/s) makes the
+// gate robust to the absolute speed of the CI machine. Returns a one-line
+// report; prefixed with "error:" on any failure (invalid document, missing
+// or non-positive metric, ratio below floor).
+std::string GateRatio(const obs::JsonValue& old_doc, const obs::JsonValue& new_doc,
+                      const std::string& num_path, const std::string& den_path,
+                      double floor);
+
 }  // namespace metrics
 }  // namespace knightking
 
